@@ -1,0 +1,183 @@
+"""Ablation benches for iFair's design choices.
+
+DESIGN.md calls out four knobs whose effect the paper leaves implicit;
+each bench sweeps one while holding the rest fixed on the synthetic
+credit dataset and prints the resulting quality frontier:
+
+* prototype count K (the low-rank bottleneck),
+* the sampled-pairs approximation of the O(M^2) fairness loss,
+* the iFair-a vs iFair-b initialisation,
+* the Minkowski exponent p of the clustering distance,
+* the number of optimisation restarts ("best of 3" in the paper).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import IFair
+from repro.core.objective import IFairObjective
+from repro.data.credit import generate_credit
+from repro.data.splits import stratified_split
+from repro.learners.logistic import LogisticRegression
+from repro.learners.scaler import StandardScaler
+from repro.metrics.classification import roc_auc
+from repro.metrics.individual import consistency
+from repro.utils.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def ablation_data():
+    dataset = generate_credit(360, random_state=7)
+    split = stratified_split(dataset.y, random_state=7)
+    scaler = StandardScaler().fit(dataset.X[split.train])
+    X = scaler.transform(dataset.X)
+    return dataset, split, X
+
+
+def _evaluate(dataset, split, X, model):
+    """Fit -> transform -> downstream classifier -> (AUC, yNN, recon)."""
+    model.fit(X[split.train], dataset.protected_indices)
+    Z_train, Z_test = model.transform(X[split.train]), model.transform(X[split.test])
+    clf = LogisticRegression(l2=1.0).fit(Z_train, dataset.y[split.train])
+    proba = clf.predict_proba(Z_test)
+    pred = (proba >= 0.5).astype(float)
+    X_star = X[:, dataset.nonprotected_indices]
+    auc = roc_auc(dataset.y[split.test], proba)
+    ynn = consistency(X_star[split.test], pred, k=10)
+    recon = model.reconstruction_error(X[split.test])
+    return auc, ynn, recon
+
+
+def _model(**kwargs):
+    defaults = dict(
+        n_prototypes=6,
+        lambda_util=1.0,
+        mu_fair=1.0,
+        init="protected_zero",
+        n_restarts=1,
+        max_iter=40,
+        max_pairs=2000,
+        random_state=7,
+    )
+    defaults.update(kwargs)
+    return IFair(**defaults)
+
+
+def test_ablation_prototype_count(benchmark, ablation_data):
+    """K sweep: smaller K compresses harder (better obfuscation/yNN,
+    worse reconstruction and utility)."""
+    dataset, split, X = ablation_data
+
+    def sweep():
+        rows = []
+        for k in (2, 4, 8, 16):
+            auc, ynn, recon = _evaluate(dataset, split, X, _model(n_prototypes=k))
+            rows.append([k, auc, ynn, recon])
+        return render_table(
+            ["K", "AUC", "yNN", "test recon MSE"], rows,
+            title="Ablation — prototype count", precision=3,
+        )
+
+    print("\n" + benchmark.pedantic(sweep, rounds=1, iterations=1))
+
+
+def test_ablation_pair_subsampling(benchmark, ablation_data):
+    """max_pairs sweep: the sampled fairness loss tracks the exact one
+    at a fraction of the cost."""
+    dataset, split, X = ablation_data
+
+    def sweep():
+        rows = []
+        for max_pairs in (100, 500, 2000, None):
+            auc, ynn, recon = _evaluate(
+                dataset, split, X, _model(max_pairs=max_pairs)
+            )
+            rows.append([str(max_pairs), auc, ynn, recon])
+        return render_table(
+            ["max_pairs", "AUC", "yNN", "test recon MSE"], rows,
+            title="Ablation — fairness-loss pair budget", precision=3,
+        )
+
+    print("\n" + benchmark.pedantic(sweep, rounds=1, iterations=1))
+
+
+def test_ablation_initialisation(benchmark, ablation_data):
+    """iFair-a (random alpha) vs iFair-b (near-zero protected alpha)."""
+    dataset, split, X = ablation_data
+
+    def sweep():
+        rows = []
+        for init, label in (("random", "iFair-a"), ("protected_zero", "iFair-b")):
+            auc, ynn, recon = _evaluate(dataset, split, X, _model(init=init))
+            rows.append([label, auc, ynn, recon])
+        return render_table(
+            ["Init", "AUC", "yNN", "test recon MSE"], rows,
+            title="Ablation — attribute-weight initialisation", precision=3,
+        )
+
+    print("\n" + benchmark.pedantic(sweep, rounds=1, iterations=1))
+
+
+def test_ablation_minkowski_exponent(benchmark, ablation_data):
+    """p sweep: the paper defaults to p = 2 (Gaussian kernel); p = 1
+    gives a robust Manhattan variant."""
+    dataset, split, X = ablation_data
+
+    def sweep():
+        rows = []
+        for p in (1.0, 2.0, 3.0):
+            auc, ynn, recon = _evaluate(dataset, split, X, _model(p=p))
+            rows.append([p, auc, ynn, recon])
+        return render_table(
+            ["p", "AUC", "yNN", "test recon MSE"], rows,
+            title="Ablation — Minkowski exponent", precision=3,
+        )
+
+    print("\n" + benchmark.pedantic(sweep, rounds=1, iterations=1))
+
+
+def test_ablation_restarts(benchmark, ablation_data):
+    """Multi-start: the paper reports best-of-3; measure the loss gain."""
+    dataset, split, X = ablation_data
+
+    def sweep():
+        rows = []
+        for restarts in (1, 3, 5):
+            model = _model(n_restarts=restarts)
+            model.fit(X[split.train], dataset.protected_indices)
+            rows.append([restarts, model.loss_, len(model.restarts_)])
+        return render_table(
+            ["restarts", "best training loss", "runs"], rows,
+            title="Ablation — optimisation restarts", precision=2,
+        )
+
+    print("\n" + benchmark.pedantic(sweep, rounds=1, iterations=1))
+
+
+def test_ablation_gradient_vs_numeric(benchmark):
+    """Analytic gradients vs scipy finite differences: the speedup that
+    makes the grid search tractable."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 25))
+    obj = IFairObjective(X, [24], n_prototypes=8)
+    theta = rng.uniform(0.1, 0.9, size=obj.n_params)
+
+    import time
+
+    def compare():
+        t0 = time.perf_counter()
+        obj.loss_and_grad(theta)
+        analytic = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        from scipy.optimize import approx_fprime
+
+        approx_fprime(theta, obj.loss, 1e-6)
+        numeric = time.perf_counter() - t0
+        return render_table(
+            ["method", "seconds / gradient"],
+            [["analytic", analytic], ["finite differences", numeric]],
+            title=f"Ablation — gradient cost ({obj.n_params} parameters)",
+            precision=4,
+        )
+
+    print("\n" + benchmark.pedantic(compare, rounds=1, iterations=1))

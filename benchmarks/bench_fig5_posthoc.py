@@ -1,0 +1,23 @@
+"""Figure 5 — enforcing statistical parity post-hoc (iFair + FA*IR).
+
+Learns iFair-b representations, scores candidates with a linear
+regression on them, then sweeps the FA*IR target proportion p and
+reports MAP, protected share of the top-10, and consistency yNN for
+Xing and Airbnb.
+
+Expected shape: the protected share rises to whatever p demands while
+the representation's consistency persists (dipping only gently at
+extreme p); utility degrades gracefully.
+"""
+
+from benchmarks.conftest import run_and_print
+from repro.pipeline.registry import EXPERIMENTS
+
+
+def test_fig5_posthoc_parity(benchmark, config):
+    run_and_print(
+        benchmark,
+        EXPERIMENTS["fig5"],
+        config,
+        "Figure 5 — FA*IR post-processing on iFair representations",
+    )

@@ -1,0 +1,23 @@
+"""Table V — learning-to-rank task (Xing and Airbnb).
+
+Full / Masked / SVD / SVD-masked / FA*IR(p) / iFair-b evaluated per
+query; reported values are means of MAP(AP@10), Kendall's tau,
+consistency yNN and the protected share of the top 10.
+
+Expected shape: Full/Masked data achieve the best utility (perfect on
+Xing, whose score is linear in the features); iFair-b achieves the best
+individual fairness at a utility cost; FA*IR lifts the protected share
+(especially at high p) but gains nothing on yNN.
+"""
+
+from benchmarks.conftest import run_and_print
+from repro.pipeline.registry import EXPERIMENTS
+
+
+def test_table5_ranking(benchmark, config):
+    run_and_print(
+        benchmark,
+        EXPERIMENTS["table5"],
+        config,
+        "Table V — ranking task on Xing and Airbnb",
+    )

@@ -1,0 +1,48 @@
+"""Shared benchmark configuration.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures and prints it.  By default a reduced configuration keeps the
+full benchmark run in the minutes range; set ``REPRO_SCALE=paper`` to
+run the paper's full protocol (grids of Section V-B at full dataset
+sizes — hours of compute).
+"""
+
+import os
+
+import pytest
+
+from repro.pipeline.config import ExperimentConfig
+
+
+def _make_config() -> ExperimentConfig:
+    scale = os.environ.get("REPRO_SCALE", "fast")
+    if scale == "paper":
+        return ExperimentConfig.paper()
+    return ExperimentConfig(
+        mixture_grid=(0.1, 1.0, 100.0),
+        prototype_grid=(6,),
+        n_restarts=1,
+        max_iter=40,
+        max_pairs=2000,
+        classification_records=360,
+        ranking_queries=8,
+        query_size=25,
+        compas_charge_levels=20,
+        random_state=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return _make_config()
+
+
+def run_and_print(benchmark, runner, config, header: str):
+    """Benchmark one experiment runner (single round) and print output."""
+    result = benchmark.pedantic(runner, args=(config,), rounds=1, iterations=1)
+    print()
+    print("=" * 72)
+    print(header)
+    print("=" * 72)
+    print(result)
+    return result

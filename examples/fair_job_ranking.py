@@ -1,0 +1,99 @@
+"""Fair candidate ranking for a job portal (the paper's Xing scenario).
+
+An employer searches for candidates; the portal ranks them by a
+deserved score (work experience + education + profile views).  This
+example shows three ranking policies side by side for one query:
+
+* **Score order** — the raw ranking; accurate but can treat nearly
+  indistinguishable candidates very differently and under-represents
+  the protected group near the top.
+* **FA*IR re-ranking** — group-fair prefixes via binomial tests, but
+  individual fairness is untouched.
+* **iFair scores** — a linear regression on iFair representations;
+  similar candidates receive similar scores (high yNN), no group
+  quotas enforced.
+
+Run:  python examples/fair_job_ranking.py
+"""
+
+import numpy as np
+
+from repro import FairRanker, IFair
+from repro.data.splits import train_val_test_split
+from repro.data.xing import generate_xing
+from repro.learners.linear import LinearRegression
+from repro.learners.scaler import StandardScaler
+from repro.metrics.group import protected_share_at_k
+from repro.metrics.individual import consistency_of_scores
+from repro.metrics.ranking import kendall_tau
+from repro.ranking.query import build_queries
+from repro.utils.tables import print_table
+
+
+def main():
+    dataset = generate_xing(n_queries=20, candidates_per_query=40, random_state=1)
+    queries = build_queries(dataset, min_size=10)
+    split = train_val_test_split(dataset.n_records, random_state=1)
+
+    scaler = StandardScaler().fit(dataset.X[split.train])
+    X = scaler.transform(dataset.X)
+    X_star = X[:, dataset.nonprotected_indices]
+
+    # iFair scores: representation -> linear regression on true scores.
+    ifair = IFair(
+        n_prototypes=10,
+        lambda_util=1.0,
+        mu_fair=100.0,
+        init="protected_zero",
+        n_restarts=1,
+        max_iter=80,
+        max_pairs=3000,
+        random_state=1,
+    ).fit(X[split.train], dataset.protected_indices)
+    Z = ifair.transform(X)
+    ifair_scores = LinearRegression().fit(Z[split.train], dataset.y[split.train]).predict(Z)
+
+    ranker = FairRanker(p=0.45, alpha=0.1)
+
+    rows = []
+    for policy in ("score order", "FA*IR", "iFair"):
+        kts, ynns, shares = [], [], []
+        for query in queries:
+            idx = query.indices
+            if policy == "score order":
+                scores = dataset.y[idx]
+            elif policy == "FA*IR":
+                result = ranker.rank(dataset.y[idx], dataset.protected[idx])
+                scores = np.empty(idx.size)
+                scores[result.ranking] = np.sort(result.scores)[::-1]
+            else:
+                scores = ifair_scores[idx]
+            order = np.argsort(-scores, kind="mergesort")
+            kts.append(kendall_tau(dataset.y[idx], scores))
+            ynns.append(consistency_of_scores(X_star[idx], scores, k=10))
+            shares.append(
+                protected_share_at_k(order, dataset.protected[idx], k=10)
+            )
+        rows.append(
+            [
+                policy,
+                float(np.mean(kts)),
+                float(np.mean(ynns)),
+                100.0 * float(np.mean(shares)),
+            ]
+        )
+
+    print_table(
+        ["Ranking policy", "Kendall tau", "yNN", "% protected in top 10"],
+        rows,
+        title=f"Job-candidate ranking across {len(queries)} queries",
+    )
+    print(
+        "FA*IR raises the protected share through quotas; iFair instead\n"
+        "equalises treatment of similar candidates (highest yNN).  The two\n"
+        "are composable — see examples/posthoc_parity.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Loan decisions: individual fairness first, legal parity second.
+
+The paper's position: learn an individually fair representation
+(application-agnostic, no group in the objective), and when a statutory
+group-fairness constraint applies, enforce it *post hoc* on the
+classifier outputs.  This example runs the full stack on the synthetic
+German-credit data:
+
+1. iFair-b representation  ->  logistic-regression credit scorer;
+2. audit statistical parity of the raw thresholded decisions;
+3. enforce parity with :class:`repro.GroupThresholdAdjuster` (per-group
+   decision thresholds) and re-audit.
+
+Run:  python examples/loan_decisions_posthoc.py
+"""
+
+from repro import GroupThresholdAdjuster, IFair
+from repro.data.credit import generate_credit
+from repro.data.splits import stratified_split
+from repro.learners.logistic import LogisticRegression
+from repro.learners.scaler import StandardScaler
+from repro.metrics.classification import accuracy
+from repro.metrics.group import statistical_parity
+from repro.metrics.individual import consistency
+from repro.utils.tables import print_table
+
+
+def main():
+    dataset = generate_credit(800, random_state=21)
+    split = stratified_split(dataset.y, random_state=21)
+    scaler = StandardScaler().fit(dataset.X[split.train])
+    X = scaler.transform(dataset.X)
+    X_star = X[:, dataset.nonprotected_indices]
+
+    representation = IFair(
+        n_prototypes=8,
+        lambda_util=1.0,
+        mu_fair=1.0,
+        init="protected_zero",
+        n_restarts=1,
+        max_iter=80,
+        max_pairs=3000,
+        random_state=21,
+    ).fit(X[split.train], dataset.protected_indices)
+
+    Z = representation.transform(X)
+    scorer = LogisticRegression(l2=1.0).fit(Z[split.train], dataset.y[split.train])
+    scores = scorer.predict_proba(Z)
+
+    # Calibrate per-group thresholds on the validation split; evaluate
+    # on the held-out test split.
+    adjuster = GroupThresholdAdjuster("parity").fit(
+        scores[split.val], dataset.protected[split.val]
+    )
+
+    raw_pred = (scores[split.test] >= 0.5).astype(float)
+    fair_pred = adjuster.predict(scores[split.test], dataset.protected[split.test])
+
+    rows = []
+    for label, pred in (("threshold 0.5", raw_pred), ("per-group thresholds", fair_pred)):
+        rows.append(
+            [
+                label,
+                accuracy(dataset.y[split.test], pred),
+                consistency(X_star[split.test], pred, k=10),
+                statistical_parity(pred, dataset.protected[split.test]),
+            ]
+        )
+
+    print_table(
+        ["Decision rule", "Acc", "yNN", "Parity"],
+        rows,
+        title="Loan approvals on iFair representations, before/after post-hoc parity",
+    )
+    print(
+        "The representation keeps similar applicants' outcomes consistent;\n"
+        "the statutory parity constraint is layered on top only where the\n"
+        "law requires it — exactly the separation of concerns the paper argues for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Auditing representations for protected-attribute leakage (Figure 4).
+
+"Fairness through blindness" — deleting the protected column — fails
+when other attributes act as proxies.  This example quantifies the
+leakage: an adversarial logistic regression tries to recover group
+membership from three representations of the COMPAS-style data:
+
+* the masked data (protected columns zeroed),
+* an LFR representation (Zemel et al. 2013),
+* an iFair-b representation.
+
+Run:  python examples/obfuscation_audit.py
+"""
+
+from repro import IFair, LFR
+from repro.baselines.identity import mask_columns
+from repro.data.compas import generate_compas
+from repro.learners.scaler import StandardScaler
+from repro.metrics.obfuscation import adversarial_accuracy
+from repro.utils.tables import print_table
+
+
+def main():
+    dataset = generate_compas(500, charge_levels=20, random_state=5)
+    X = StandardScaler().fit_transform(dataset.X)
+    majority = max(dataset.protected.mean(), 1.0 - dataset.protected.mean())
+
+    representations = {}
+    representations["Masked data"] = mask_columns(X, dataset.protected_indices)
+
+    lfr = LFR(n_prototypes=6, a_x=0.01, a_y=1.0, a_z=1.0,
+              n_restarts=1, max_iter=60, random_state=5)
+    lfr.fit(X, dataset.y, dataset.protected)
+    representations["LFR"] = lfr.transform(X)
+
+    ifair = IFair(n_prototypes=6, lambda_util=1.0, mu_fair=1.0,
+                  init="protected_zero", n_restarts=1, max_iter=60,
+                  max_pairs=3000, random_state=5)
+    ifair.fit(X, dataset.protected_indices)
+    representations["iFair-b"] = ifair.transform(X)
+
+    rows = [
+        [name, adversarial_accuracy(Z, dataset.protected, random_state=0)]
+        for name, Z in representations.items()
+    ]
+    rows.append(["(majority-class floor)", majority])
+
+    print_table(
+        ["Representation", "Adversarial accuracy"],
+        rows,
+        title="Can an adversary recover race from the representation? (lower = better)",
+    )
+    print(
+        "Masking the protected column is not enough — correlated proxies\n"
+        "(geography, charge patterns) leak group membership.  The low-rank\n"
+        "iFair representation compresses that proxy structure away."
+    )
+
+
+if __name__ == "__main__":
+    main()

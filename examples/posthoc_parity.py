@@ -1,0 +1,50 @@
+"""Composing iFair with FA*IR: post-hoc statistical parity (Figure 5).
+
+iFair deliberately excludes group fairness from its objective; when a
+legal quota is required, the paper shows it can be enforced *after* the
+fact by re-ranking iFair-based scores with FA*IR.  This example sweeps
+the FA*IR target proportion p on the Airbnb scenario and prints the
+resulting utility / parity / consistency frontier.
+
+Run:  python examples/posthoc_parity.py
+"""
+
+from repro.data.airbnb import generate_airbnb
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.posthoc import run_posthoc
+from repro.utils.tables import print_table
+
+
+def main():
+    dataset = generate_airbnb(900, random_state=9)
+    config = ExperimentConfig(
+        mixture_grid=(0.1, 1.0, 100.0),
+        prototype_grid=(6,),
+        n_restarts=1,
+        max_iter=60,
+        max_pairs=2500,
+        random_state=9,
+    )
+    report = run_posthoc(
+        dataset,
+        config,
+        p_grid=(0.1, 0.3, 0.5, 0.7, 0.9),
+        min_query_size=10,
+    )
+    print_table(
+        ["FA*IR p", "MAP", "% protected in top 10", "yNN"],
+        [
+            [pt.p, pt.map_score, 100.0 * pt.protected_share, pt.consistency]
+            for pt in report.points
+        ],
+        title="iFair scores + FA*IR re-ranking on Airbnb listings",
+    )
+    print(
+        "Whatever protected share the regulator demands, the combined\n"
+        "pipeline reaches it — while the individual-fairness property of\n"
+        "the learned representation (yNN) degrades only gently."
+    )
+
+
+if __name__ == "__main__":
+    main()

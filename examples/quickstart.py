@@ -1,0 +1,78 @@
+"""Quickstart: learn an individually fair representation in ~30 lines.
+
+Walks the paper's pipeline (Figure 1) end to end on a small synthetic
+credit-risk dataset:
+
+1. generate data with a protected attribute and correlated proxies;
+2. fit :class:`repro.IFair` on the training split (unsupervised — no
+   labels, no pre-specified protected *group*, only protected columns);
+3. train an ordinary logistic regression on the transformed data;
+4. compare utility, individual fairness and group fairness against the
+   same classifier trained on the raw data.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import IFair
+from repro.data.credit import generate_credit
+from repro.data.splits import stratified_split
+from repro.learners.logistic import LogisticRegression
+from repro.learners.scaler import StandardScaler
+from repro.metrics.classification import accuracy, roc_auc
+from repro.metrics.group import statistical_parity
+from repro.metrics.individual import consistency
+from repro.utils.tables import print_table
+
+
+def main():
+    dataset = generate_credit(600, random_state=42)
+    split = stratified_split(dataset.y, random_state=42)
+
+    scaler = StandardScaler().fit(dataset.X[split.train])
+    X = scaler.transform(dataset.X)
+    X_star = X[:, dataset.nonprotected_indices]  # similarity space for yNN
+
+    # --- learn the fair representation (iFair-b initialisation) -------
+    model = IFair(
+        n_prototypes=10,
+        lambda_util=1.0,
+        mu_fair=1.0,
+        init="protected_zero",
+        n_restarts=2,
+        max_iter=100,
+        max_pairs=3000,
+        random_state=42,
+    )
+    model.fit(X[split.train], dataset.protected_indices)
+
+    rows = []
+    for name, features in (("Raw data", X), ("iFair representation", model.transform(X))):
+        clf = LogisticRegression(l2=1.0).fit(
+            features[split.train], dataset.y[split.train]
+        )
+        proba = clf.predict_proba(features[split.test])
+        pred = (proba >= 0.5).astype(float)
+        rows.append(
+            [
+                name,
+                accuracy(dataset.y[split.test], pred),
+                roc_auc(dataset.y[split.test], proba),
+                consistency(X_star[split.test], pred, k=10),
+                statistical_parity(pred, dataset.protected[split.test]),
+            ]
+        )
+
+    print_table(
+        ["Input to classifier", "Acc", "AUC", "yNN (individual)", "Parity (group)"],
+        rows,
+        title="Credit-risk classification: raw data vs iFair representation",
+    )
+    print(
+        "iFair trades a little utility for markedly more consistent\n"
+        "treatment of similar individuals — without ever seeing labels\n"
+        "or a pre-specified protected group during representation learning."
+    )
+
+
+if __name__ == "__main__":
+    main()

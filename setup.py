@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build an editable
+wheel.  This shim keeps the legacy ``python setup.py develop`` path
+working; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — a full reproduction of *iFair: Learning Individually Fair
+Data Representations for Algorithmic Decision Making* (Lahoti, Gummadi,
+Weikum — ICDE 2019).
+
+Public API highlights
+---------------------
+* :class:`repro.IFair` — the individually fair representation learner.
+* :class:`repro.LFR`, :class:`repro.SVDTransform`,
+  :class:`repro.FairRanker` — the paper's baselines, reimplemented.
+* :mod:`repro.metrics` — utility / individual-fairness /
+  group-fairness / obfuscation measures.
+* :mod:`repro.data` — schema-faithful synthetic generators for the five
+  evaluation datasets plus the Section IV synthetic study.
+* :mod:`repro.pipeline` — one runner per paper table and figure
+  (``repro.pipeline.run_experiment("table3")``).
+"""
+
+from repro.baselines import (
+    AdversarialCensoring,
+    FairRanker,
+    FullData,
+    LFR,
+    MaskedData,
+    SVDTransform,
+)
+from repro.core import IFair, IFairObjective, WeightedMinkowski
+from repro.exceptions import (
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    ValidationError,
+)
+from repro.posthoc import GroupThresholdAdjuster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IFair",
+    "IFairObjective",
+    "WeightedMinkowski",
+    "LFR",
+    "FairRanker",
+    "FullData",
+    "MaskedData",
+    "SVDTransform",
+    "AdversarialCensoring",
+    "GroupThresholdAdjuster",
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "SchemaError",
+    "__version__",
+]

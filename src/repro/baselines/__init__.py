@@ -1,0 +1,32 @@
+"""Baseline representations and the FA*IR ranking method.
+
+These are the comparison points of the paper's evaluation:
+
+* Full Data / Masked Data (:mod:`repro.baselines.identity`),
+* SVD and SVD-masked (:mod:`repro.baselines.svd`, including the
+  randomised SVD of Halko et al. cited by the paper),
+* LFR, Zemel et al. ICML 2013 (:mod:`repro.baselines.lfr`),
+* FA*IR, Zehlike et al. CIKM 2017 (:mod:`repro.baselines.fair_ranking`)
+  with the score-interpolation extension described in Section V-E.
+"""
+
+from repro.baselines.adversarial import AdversarialCensoring
+from repro.baselines.identity import FullData, MaskedData
+from repro.baselines.kmeans import KMeansRepresentation, kmeans
+from repro.baselines.lfr import LFR
+from repro.baselines.svd import SVDTransform, randomized_svd, truncated_svd
+from repro.baselines.fair_ranking import FairRanker, minimum_protected_targets
+
+__all__ = [
+    "AdversarialCensoring",
+    "KMeansRepresentation",
+    "kmeans",
+    "FullData",
+    "MaskedData",
+    "LFR",
+    "SVDTransform",
+    "randomized_svd",
+    "truncated_svd",
+    "FairRanker",
+    "minimum_protected_targets",
+]

@@ -1,0 +1,68 @@
+"""Trivial representations: the original data and the masked data.
+
+``FullData`` returns records unchanged.  ``MaskedData`` zeroes the
+protected columns — the naive "fairness through blindness" approach the
+paper shows to be insufficient because correlated attributes still leak
+protected information.
+
+Masking zeroes columns rather than dropping them so every
+representation in an experiment shares the same feature dimensionality;
+a constant (zero) column carries no information for any downstream
+learner used here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_protected_indices
+
+
+class FullData:
+    """Identity representation (the paper's "Full Data" baseline)."""
+
+    def fit(self, X, protected_indices=None) -> "FullData":
+        check_matrix(X, "X")
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        return check_matrix(X, "X").copy()
+
+    def fit_transform(self, X, protected_indices=None) -> np.ndarray:
+        return self.fit(X, protected_indices).transform(X)
+
+
+class MaskedData:
+    """Zero out protected columns (the paper's "Masked Data" baseline)."""
+
+    def __init__(self):
+        self._protected: Optional[np.ndarray] = None
+        self._n_features: Optional[int] = None
+
+    def fit(self, X, protected_indices=None) -> "MaskedData":
+        X = check_matrix(X, "X")
+        self._n_features = X.shape[1]
+        self._protected = check_protected_indices(protected_indices, X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = check_matrix(X, "X")
+        if self._protected is None:
+            raise RuntimeError("MaskedData must be fitted before transform")
+        out = X.copy()
+        out[:, self._protected] = 0.0
+        return out
+
+    def fit_transform(self, X, protected_indices=None) -> np.ndarray:
+        return self.fit(X, protected_indices).transform(X)
+
+
+def mask_columns(X, protected_indices) -> np.ndarray:
+    """Functional form of :class:`MaskedData` for one-off use."""
+    X = check_matrix(X, "X")
+    idx = check_protected_indices(protected_indices, X.shape[1])
+    out = X.copy()
+    out[:, idx] = 0.0
+    return out

@@ -1,0 +1,157 @@
+"""K-means clustering baseline (Lloyd's algorithm).
+
+The paper's introduction dismisses a naive alternative to iFair:
+"Simple approaches like removing all sensitive attributes from the data
+and then performing a standard clustering technique do not reconcile
+these two conflicting goals, as standard clustering may lose too much
+utility."  This module implements that straw man so the claim can be
+tested: :class:`KMeansRepresentation` masks protected columns, runs
+k-means, and represents every record by its cluster centroid — a hard
+(non-probabilistic) counterpart of iFair's soft prototype mixture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.mathkit import pairwise_sq_euclidean
+from repro.utils.rng import RandomStateLike, check_random_state
+from repro.utils.validation import check_matrix, check_protected_indices
+
+
+def kmeans(
+    X,
+    n_clusters: int,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+    n_init: int = 3,
+    random_state: RandomStateLike = 0,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Lloyd's algorithm with k-means++ seeding and multi-restart.
+
+    Returns ``(centroids, labels, inertia)`` of the best restart.
+    """
+    X = check_matrix(X, "X", min_rows=2)
+    m = X.shape[0]
+    if not 1 <= n_clusters <= m:
+        raise ValidationError(f"n_clusters must lie in [1, {m}]")
+    if max_iter < 1 or n_init < 1:
+        raise ValidationError("max_iter and n_init must be positive")
+    rng = check_random_state(random_state)
+    best: Optional[Tuple[np.ndarray, np.ndarray, float]] = None
+    for _ in range(n_init):
+        centroids = _plusplus_init(X, n_clusters, rng)
+        labels = np.zeros(m, dtype=np.intp)
+        prev_inertia = np.inf
+        for _ in range(max_iter):
+            D = pairwise_sq_euclidean(X, centroids)
+            labels = np.argmin(D, axis=1)
+            inertia = float(D[np.arange(m), labels].sum())
+            for k in range(n_clusters):
+                mask = labels == k
+                if np.any(mask):
+                    centroids[k] = X[mask].mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the worst-fit point.
+                    worst = int(np.argmax(D[np.arange(m), labels]))
+                    centroids[k] = X[worst]
+            if prev_inertia - inertia <= tol * max(prev_inertia, 1.0):
+                break
+            prev_inertia = inertia
+        D = pairwise_sq_euclidean(X, centroids)
+        labels = np.argmin(D, axis=1)
+        inertia = float(D[np.arange(m), labels].sum())
+        if best is None or inertia < best[2]:
+            best = (centroids.copy(), labels.copy(), inertia)
+    return best
+
+
+def _plusplus_init(
+    X: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    m = X.shape[0]
+    centroids = np.empty((n_clusters, X.shape[1]))
+    centroids[0] = X[rng.integers(m)]
+    closest = pairwise_sq_euclidean(X, centroids[:1]).ravel()
+    for k in range(1, n_clusters):
+        total = closest.sum()
+        if total <= 0.0:
+            centroids[k:] = centroids[0]
+            break
+        probs = closest / total
+        centroids[k] = X[rng.choice(m, p=probs)]
+        d_new = pairwise_sq_euclidean(X, centroids[k : k + 1]).ravel()
+        np.minimum(closest, d_new, out=closest)
+    return centroids
+
+
+class KMeansRepresentation:
+    """Mask protected columns, cluster, represent by centroid.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters (the analogue of iFair's K).
+    max_iter, n_init:
+        Lloyd's algorithm budget and restarts.
+    random_state:
+        Seeding.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 10,
+        *,
+        max_iter: int = 100,
+        n_init: int = 3,
+        random_state: RandomStateLike = 0,
+    ):
+        self.n_clusters = int(n_clusters)
+        self.max_iter = int(max_iter)
+        self.n_init = int(n_init)
+        self.random_state = random_state
+        self.centroids_: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+        self._protected: Optional[np.ndarray] = None
+
+    def fit(self, X, protected_indices=None) -> "KMeansRepresentation":
+        """Cluster the masked training records."""
+        X = check_matrix(X, "X", min_rows=2)
+        self._protected = check_protected_indices(protected_indices, X.shape[1])
+        masked = X.copy()
+        masked[:, self._protected] = 0.0
+        n_clusters = min(self.n_clusters, X.shape[0])
+        self.centroids_, _, self.inertia_ = kmeans(
+            masked,
+            n_clusters,
+            max_iter=self.max_iter,
+            n_init=self.n_init,
+            random_state=self.random_state,
+        )
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Hard cluster assignment per record (on masked features)."""
+        if self.centroids_ is None:
+            raise NotFittedError("KMeansRepresentation must be fitted first")
+        X = check_matrix(X, "X")
+        if X.shape[1] != self.centroids_.shape[1]:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.centroids_.shape[1]}"
+            )
+        masked = X.copy()
+        masked[:, self._protected] = 0.0
+        return np.argmin(pairwise_sq_euclidean(masked, self.centroids_), axis=1)
+
+    def transform(self, X) -> np.ndarray:
+        """Represent each record by its assigned centroid."""
+        return self.centroids_[self.predict(X)]
+
+    def fit_transform(self, X, protected_indices=None) -> np.ndarray:
+        return self.fit(X, protected_indices).transform(X)

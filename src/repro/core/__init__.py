@@ -1,0 +1,32 @@
+"""The paper's primary contribution: the iFair representation learner.
+
+* :class:`~repro.core.distance.WeightedMinkowski` — Definition 7.
+* :class:`~repro.core.objective.IFairObjective` — Definitions 4-6 and 9
+  with fully analytic gradients.
+* :class:`~repro.core.model.IFair` — the estimator (Definitions 2, 3, 8,
+  L-BFGS optimisation of Section III-C, iFair-a / iFair-b inits).
+* :mod:`~repro.core.pareto` / :mod:`~repro.core.tuning` — the paper's
+  hyper-parameter protocol (grid search, Pareto-optimal models, the
+  three tuning criteria of Table III).
+"""
+
+from repro.core.distance import WeightedMinkowski
+from repro.core.model import IFair
+from repro.core.objective import IFairObjective
+from repro.core.pareto import pareto_front, is_dominated
+from repro.core.tuning import (
+    GridSearch,
+    TuningCriterion,
+    default_hyper_grid,
+)
+
+__all__ = [
+    "WeightedMinkowski",
+    "IFair",
+    "IFairObjective",
+    "pareto_front",
+    "is_dominated",
+    "GridSearch",
+    "TuningCriterion",
+    "default_hyper_grid",
+]

@@ -1,0 +1,236 @@
+"""The iFair estimator: learn prototypes + weights, transform records.
+
+Implements Section III of the paper: the probabilistic-clustering
+representation (Definitions 2, 3, 8), trained by L-BFGS on the combined
+objective (Section III-C), with the two initialisation schemes compared
+in the experiments:
+
+* ``init='random'`` — iFair-a: every parameter uniform in (0, 1);
+* ``init='protected_zero'`` — iFair-b: protected attribute weights
+  start near zero, reflecting that protected attributes should not
+  drive similarity.
+
+Following Section V-B ("we report the results from the best of 3
+runs"), ``n_restarts`` controls multi-start optimisation and the fit
+keeps the restart with the lowest training loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.objective import IFairObjective
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.mathkit import softmax
+from repro.utils.rng import RandomStateLike, check_random_state, spawn_seeds
+from repro.utils.validation import check_matrix, check_protected_indices
+
+
+@dataclass
+class RestartRecord:
+    """Outcome of a single optimisation restart (for diagnostics)."""
+
+    seed: int
+    loss: float
+    n_iterations: int
+    converged: bool
+
+
+class IFair:
+    """Individually fair representation learner.
+
+    Parameters
+    ----------
+    n_prototypes:
+        K, the dimensionality of the probabilistic clustering.
+    lambda_util:
+        Weight of the reconstruction (utility) loss.
+    mu_fair:
+        Weight of the pairwise distance-preservation (fairness) loss.
+    p:
+        Minkowski exponent of the record-prototype distance.
+    init:
+        ``'random'`` (iFair-a) or ``'protected_zero'`` (iFair-b).
+    protected_alpha_init:
+        Starting value of protected attribute weights under
+        ``'protected_zero'`` (near zero, not exactly zero, to leave
+        numerical slack — Section V-B).
+    n_restarts:
+        Number of random restarts; the best training loss wins.
+    max_iter:
+        L-BFGS iteration budget per restart.
+    tol:
+        L-BFGS gradient tolerance.
+    max_pairs:
+        Optional cap on fairness-loss pairs (subsampled once per fit).
+    random_state:
+        Master seed: spawns per-restart seeds and the pair subsample.
+
+    Attributes
+    ----------
+    prototypes_:
+        Learned V, shape (K, N).
+    alpha_:
+        Learned attribute weights, shape (N,).
+    loss_:
+        Best training loss.
+    restarts_:
+        Per-restart diagnostics.
+    """
+
+    def __init__(
+        self,
+        n_prototypes: int = 10,
+        lambda_util: float = 1.0,
+        mu_fair: float = 1.0,
+        *,
+        p: float = 2.0,
+        init: str = "protected_zero",
+        protected_alpha_init: float = 1e-3,
+        n_restarts: int = 3,
+        max_iter: int = 200,
+        tol: float = 1e-6,
+        max_pairs: Optional[int] = None,
+        random_state: RandomStateLike = 0,
+    ):
+        if init not in ("random", "protected_zero"):
+            raise ValidationError("init must be 'random' or 'protected_zero'")
+        if n_restarts < 1:
+            raise ValidationError("n_restarts must be at least 1")
+        if not 0 < protected_alpha_init < 1:
+            raise ValidationError("protected_alpha_init must lie in (0, 1)")
+        self.n_prototypes = int(n_prototypes)
+        self.lambda_util = float(lambda_util)
+        self.mu_fair = float(mu_fair)
+        self.p = float(p)
+        self.init = init
+        self.protected_alpha_init = float(protected_alpha_init)
+        self.n_restarts = int(n_restarts)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.max_pairs = max_pairs
+        self.random_state = random_state
+
+        self.prototypes_: Optional[np.ndarray] = None
+        self.alpha_: Optional[np.ndarray] = None
+        self.loss_: float = np.inf
+        self.restarts_: List[RestartRecord] = []
+        self._protected: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, X, protected_indices=None) -> "IFair":
+        """Learn prototypes and attribute weights from ``X``.
+
+        Parameters
+        ----------
+        X:
+            Training records (already encoded/scaled), shape (M, N).
+        protected_indices:
+            Columns of ``X`` holding protected attributes.  They are
+            excluded from the fairness target distances and, for
+            iFair-b, initialised with near-zero weights.
+        """
+        X = check_matrix(X, "X", min_rows=2)
+        self._protected = check_protected_indices(protected_indices, X.shape[1])
+        objective = IFairObjective(
+            X,
+            self._protected,
+            lambda_util=self.lambda_util,
+            mu_fair=self.mu_fair,
+            n_prototypes=self.n_prototypes,
+            p=self.p,
+            max_pairs=self.max_pairs,
+            random_state=self.random_state,
+        )
+        seeds = spawn_seeds(self.random_state, self.n_restarts)
+        bounds = self._bounds(objective)
+        best_loss = np.inf
+        best_theta: Optional[np.ndarray] = None
+        self.restarts_ = []
+        for seed in seeds:
+            theta0 = self._initial_theta(objective, seed)
+            result = optimize.minimize(
+                objective.loss_and_grad,
+                theta0,
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": self.max_iter, "gtol": self.tol},
+            )
+            self.restarts_.append(
+                RestartRecord(
+                    seed=seed,
+                    loss=float(result.fun),
+                    n_iterations=int(result.nit),
+                    converged=bool(result.success),
+                )
+            )
+            if result.fun < best_loss:
+                best_loss = float(result.fun)
+                best_theta = result.x
+        if best_theta is None:  # pragma: no cover - L-BFGS always returns x
+            raise NotFittedError("optimisation produced no parameters")
+        self.prototypes_, self.alpha_ = objective.unpack(best_theta)
+        self.loss_ = best_loss
+        return self
+
+    def _bounds(self, objective: IFairObjective):
+        """V unbounded; alpha constrained non-negative."""
+        n_v = objective.n_prototypes * objective.n_features
+        return [(None, None)] * n_v + [(0.0, None)] * objective.n_features
+
+    def _initial_theta(self, objective: IFairObjective, seed: int) -> np.ndarray:
+        rng = check_random_state(seed)
+        V0 = rng.uniform(0.0, 1.0, size=(objective.n_prototypes, objective.n_features))
+        alpha0 = rng.uniform(0.0, 1.0, size=objective.n_features)
+        if self.init == "protected_zero":
+            alpha0[objective.protected] = self.protected_alpha_init
+        return objective.pack(V0, alpha0)
+
+    # ------------------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if self.prototypes_ is None or self.alpha_ is None:
+            raise NotFittedError("IFair must be fitted before transforming data")
+
+    def memberships(self, X) -> np.ndarray:
+        """Per-record prototype probabilities u_i (Definition 8)."""
+        self._check_fitted()
+        X = check_matrix(X, "X")
+        if X.shape[1] != self.prototypes_.shape[1]:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.prototypes_.shape[1]}"
+            )
+        diff = X[:, None, :] - self.prototypes_[None, :, :]
+        if self.p == 2.0:
+            powed = diff * diff
+        else:
+            powed = np.abs(diff) ** self.p
+        d = powed @ self.alpha_
+        return softmax(-d, axis=1)
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the learned mapping phi (Definition 3) to records."""
+        return self.memberships(X) @ self.prototypes_
+
+    def fit_transform(self, X, protected_indices=None) -> np.ndarray:
+        """Fit on ``X`` and return its transformed representation."""
+        return self.fit(X, protected_indices).transform(X)
+
+    def reconstruction_error(self, X) -> float:
+        """Mean squared reconstruction error of ``X`` under the mapping."""
+        X = check_matrix(X, "X")
+        X_tilde = self.transform(X)
+        return float(np.mean((X - X_tilde) ** 2))
+
+    def __repr__(self) -> str:
+        return (
+            f"IFair(n_prototypes={self.n_prototypes}, lambda_util={self.lambda_util}, "
+            f"mu_fair={self.mu_fair}, init={self.init!r})"
+        )

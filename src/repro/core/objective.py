@@ -1,0 +1,288 @@
+r"""The iFair loss (Definitions 4-6, 9) with fully analytic gradients.
+
+Forward pass
+------------
+Given records ``X`` (M x N), prototypes ``V`` (K x N) and attribute
+weights ``alpha`` (N,):
+
+.. math::
+
+    d_{ik}      &= \sum_n \alpha_n |x_{in} - v_{kn}|^p           \\
+    u_{ik}      &= \mathrm{softmax}_k(-d_{ik})                   \\
+    \tilde X    &= U V                                            \\
+    L_{util}    &= \sum_{i,n} (x_{in} - \tilde x_{in})^2          \\
+    L_{fair}    &= \sum_{i,j} (\tilde D_{ij} - D^*_{ij})^2        \\
+    L           &= \lambda L_{util} + \mu L_{fair}
+
+where :math:`\tilde D_{ij} = \|\tilde x_i - \tilde x_j\|^2` and
+:math:`D^*_{ij} = \|x^*_i - x^*_j\|^2` is the (precomputed) squared
+Euclidean distance on the *non-protected* attributes of the original
+records.  ``alpha`` thus parameterises only the clustering softmax;
+the fairness target uses unit weights (see DESIGN.md section 4).
+
+Backward pass
+-------------
+With :math:`G = \partial L / \partial \tilde X`:
+
+* utility part: :math:`2 \lambda (\tilde X - X)`;
+* fairness part (full ordered-pair sum, :math:`E = \tilde D - D^*`,
+  :math:`r_i = \sum_j E_{ij}`): :math:`8 \mu (r_i \tilde x_i - \sum_j
+  E_{ij} \tilde x_j)`;
+* through the linear map: :math:`\partial L/\partial V \mathrel{+}= U^T
+  G` and :math:`C = G V^T`;
+* through the softmax: :math:`P_{ik} = u_{ik} (C_{ik} - \sum_m u_{im}
+  C_{im})` and :math:`\partial L / \partial d = -P`;
+* through the distance: with ``diff = x_in - v_kn``,
+  :math:`\partial L/\partial v_{kn} \mathrel{+}= p\,\alpha_n \sum_i
+  P_{ik}\,\mathrm{sign}(diff)\,|diff|^{p-1}` and
+  :math:`\partial L/\partial \alpha_n = -\sum_{ik} P_{ik} |diff|^p`.
+
+All of this is verified against central finite differences by the
+property tests in ``tests/property/test_gradients.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.mathkit import pairwise_sq_euclidean, softmax
+from repro.utils.rng import RandomStateLike, check_random_state
+from repro.utils.validation import (
+    check_matrix,
+    check_protected_indices,
+    nonprotected_indices,
+)
+
+
+class IFairObjective:
+    """Loss/gradient oracle for one training matrix.
+
+    Parameters
+    ----------
+    X:
+        Training records, shape (M, N).
+    protected_indices:
+        Column indices of protected attributes (may be empty/None).
+    lambda_util, mu_fair:
+        Mixture coefficients of Definition 6.
+    n_prototypes:
+        K, the number of prototype vectors.
+    p:
+        Minkowski exponent of the softmax distance (p >= 1).
+    max_pairs:
+        Optional cap on the number of (unordered) record pairs used by
+        the fairness loss.  ``None`` uses the full ordered-pair sum;
+        otherwise pairs are sampled once at construction.
+    random_state:
+        Seeds the pair subsample only.
+    """
+
+    def __init__(
+        self,
+        X,
+        protected_indices=None,
+        *,
+        lambda_util: float = 1.0,
+        mu_fair: float = 1.0,
+        n_prototypes: int = 10,
+        p: float = 2.0,
+        max_pairs: Optional[int] = None,
+        random_state: RandomStateLike = 0,
+    ):
+        self.X = check_matrix(X, "X")
+        m, n = self.X.shape
+        self.protected = check_protected_indices(protected_indices, n)
+        self.nonprotected = nonprotected_indices(self.protected, n)
+        if self.nonprotected.size == 0:
+            raise ValidationError("at least one non-protected attribute is required")
+        if lambda_util < 0 or mu_fair < 0:
+            raise ValidationError("lambda_util and mu_fair must be non-negative")
+        if n_prototypes < 1:
+            raise ValidationError("n_prototypes must be at least 1")
+        if n_prototypes >= m:
+            raise ValidationError(
+                f"n_prototypes must be < number of records ({m}) for a low-rank map"
+            )
+        if p < 1:
+            raise ValidationError("Minkowski exponent p must be >= 1")
+        self.lambda_util = float(lambda_util)
+        self.mu_fair = float(mu_fair)
+        self.n_prototypes = int(n_prototypes)
+        self.p = float(p)
+
+        X_star = self.X[:, self.nonprotected]
+        if max_pairs is None:
+            self._pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+            self._d_star = pairwise_sq_euclidean(X_star)
+        else:
+            if max_pairs < 1:
+                raise ValidationError("max_pairs must be positive")
+            rng = check_random_state(random_state)
+            total = m * (m - 1) // 2
+            n_pairs = min(int(max_pairs), total)
+            # Sample unordered pairs without replacement via flat indices.
+            flat = rng.choice(total, size=n_pairs, replace=False)
+            ii, jj = _triu_unravel(flat, m)
+            self._pairs = (ii, jj)
+            diff = X_star[ii] - X_star[jj]
+            self._d_star = np.sum(diff * diff, axis=1)
+
+    # ------------------------------------------------------------------
+    # Parameter packing
+    # ------------------------------------------------------------------
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def n_params(self) -> int:
+        """Size of the packed parameter vector [V.ravel(), alpha]."""
+        return self.n_prototypes * self.n_features + self.n_features
+
+    def pack(self, V: np.ndarray, alpha: np.ndarray) -> np.ndarray:
+        """Concatenate prototypes and weights into one flat vector."""
+        V = check_matrix(V, "V")
+        if V.shape != (self.n_prototypes, self.n_features):
+            raise ValidationError(
+                f"V must have shape {(self.n_prototypes, self.n_features)}, got {V.shape}"
+            )
+        alpha = np.asarray(alpha, dtype=np.float64).ravel()
+        if alpha.shape != (self.n_features,):
+            raise ValidationError(f"alpha must have shape ({self.n_features},)")
+        return np.concatenate([V.ravel(), alpha])
+
+    def unpack(self, theta: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`pack`."""
+        theta = np.asarray(theta, dtype=np.float64).ravel()
+        if theta.size != self.n_params:
+            raise ValidationError(
+                f"theta must have {self.n_params} entries, got {theta.size}"
+            )
+        split = self.n_prototypes * self.n_features
+        V = theta[:split].reshape(self.n_prototypes, self.n_features)
+        alpha = theta[split:]
+        return V, alpha
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+
+    def _distances(self, V: np.ndarray, alpha: np.ndarray) -> np.ndarray:
+        """d[i, k] = sum_n alpha_n |x_in - v_kn|^p, shape (M, K)."""
+        diff = self.X[:, None, :] - V[None, :, :]
+        if self.p == 2.0:
+            powed = diff * diff
+        else:
+            powed = np.abs(diff) ** self.p
+        return powed @ alpha
+
+    def memberships(self, V: np.ndarray, alpha: np.ndarray) -> np.ndarray:
+        """Probability vectors U = softmax(-d) of Definition 8."""
+        return softmax(-self._distances(V, alpha), axis=1)
+
+    def transform(self, V: np.ndarray, alpha: np.ndarray) -> np.ndarray:
+        """Transformed representation X-tilde = U V (Definition 2)."""
+        return self.memberships(V, alpha) @ V
+
+    def loss_components(self, theta: np.ndarray) -> Tuple[float, float]:
+        """(L_util, L_fair) at ``theta`` — unweighted by lambda/mu."""
+        V, alpha = self.unpack(theta)
+        X_tilde = self.transform(V, alpha)
+        resid = self.X - X_tilde
+        l_util = float(np.sum(resid * resid))
+        l_fair = self._fair_loss(X_tilde)
+        return l_util, l_fair
+
+    def loss(self, theta: np.ndarray) -> float:
+        """Combined objective L(theta) of Definition 6."""
+        l_util, l_fair = self.loss_components(theta)
+        return self.lambda_util * l_util + self.mu_fair * l_fair
+
+    def _fair_loss(self, X_tilde: np.ndarray) -> float:
+        if self._pairs is None:
+            d_tilde = pairwise_sq_euclidean(X_tilde)
+            err = d_tilde - self._d_star
+            return float(np.sum(err * err))
+        ii, jj = self._pairs
+        diff = X_tilde[ii] - X_tilde[jj]
+        d_tilde = np.sum(diff * diff, axis=1)
+        err = d_tilde - self._d_star
+        return float(np.sum(err * err))
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+
+    def loss_and_grad(self, theta: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Loss and analytic gradient w.r.t. the packed parameters."""
+        V, alpha = self.unpack(theta)
+        X = self.X
+        m = X.shape[0]
+
+        diff = X[:, None, :] - V[None, :, :]  # (M, K, N)
+        if self.p == 2.0:
+            powed = diff * diff
+            deriv = diff  # sign(diff)*|diff|^(p-1) for p=2
+        else:
+            absdiff = np.abs(diff)
+            powed = absdiff ** self.p
+            deriv = np.sign(diff) * absdiff ** (self.p - 1.0)
+        d = powed @ alpha  # (M, K)
+        U = softmax(-d, axis=1)
+        X_tilde = U @ V
+        resid = X_tilde - X
+
+        l_util = float(np.sum(resid * resid))
+
+        # dL/dX_tilde from both loss terms.
+        G = 2.0 * self.lambda_util * resid
+        if self._pairs is None:
+            d_tilde = pairwise_sq_euclidean(X_tilde)
+            E = d_tilde - self._d_star
+            l_fair = float(np.sum(E * E))
+            row = E.sum(axis=1)
+            G += 8.0 * self.mu_fair * (row[:, None] * X_tilde - E @ X_tilde)
+        else:
+            ii, jj = self._pairs
+            pair_diff = X_tilde[ii] - X_tilde[jj]
+            d_tilde = np.sum(pair_diff * pair_diff, axis=1)
+            err = d_tilde - self._d_star
+            l_fair = float(np.sum(err * err))
+            contrib = 4.0 * self.mu_fair * err[:, None] * pair_diff
+            np.add.at(G, ii, contrib)
+            np.add.at(G, jj, -contrib)
+
+        loss = self.lambda_util * l_util + self.mu_fair * l_fair
+
+        # Through X_tilde = U V.
+        grad_V = U.T @ G  # direct path, (K, N)
+        C = G @ V.T  # (M, K)
+        # Softmax Jacobian: P = dL/d(-d).
+        P = U * (C - np.sum(U * C, axis=1, keepdims=True))
+        # dL/dd = -P; d = powed @ alpha.
+        grad_alpha = -np.einsum("mk,mkn->n", P, powed)
+        # dd/dV path: dd_ik/dv_kn = -p * alpha_n * deriv_ikn.
+        grad_V += self.p * alpha[None, :] * np.einsum("mk,mkn->kn", P, deriv)
+
+        grad = np.concatenate([grad_V.ravel(), grad_alpha])
+        return loss, grad
+
+
+def _triu_unravel(flat: np.ndarray, m: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Map flat indices 0..m*(m-1)/2-1 to (i, j) with i < j.
+
+    Uses the closed-form inverse of the row-major strict-upper-triangle
+    enumeration, so sampling pairs never materialises the full list.
+    """
+    flat = np.asarray(flat, dtype=np.int64)
+    # Row i starts at offset i*m - i*(i+1)/2 - ... solve the quadratic.
+    # count(i) = i*(2m - i - 1)/2 pairs precede row i.
+    i = (2 * m - 1 - np.sqrt((2 * m - 1) ** 2 - 8 * flat)) // 2
+    i = i.astype(np.int64)
+    start = i * (2 * m - i - 1) // 2
+    j = flat - start + i + 1
+    return i, j.astype(np.int64)

@@ -1,0 +1,44 @@
+"""Pareto-front utilities for multi-objective model selection.
+
+The paper selects hyper-parameters that are "Pareto-optimal with regard
+to AUC and yNN" (Section V-D, Figure 3).  All objectives here are
+maximised; flip the sign of anything you want minimised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_matrix
+
+
+def is_dominated(point: Sequence[float], others) -> bool:
+    """True if some row of ``others`` is >= ``point`` everywhere and
+    strictly greater somewhere (maximisation convention)."""
+    point = np.asarray(point, dtype=np.float64).ravel()
+    others = check_matrix(others, "others")
+    if others.shape[1] != point.size:
+        raise ValidationError("dimension mismatch between point and others")
+    ge = np.all(others >= point, axis=1)
+    gt = np.any(others > point, axis=1)
+    return bool(np.any(ge & gt))
+
+
+def pareto_front(points) -> List[int]:
+    """Indices of the non-dominated rows of ``points`` (maximisation).
+
+    Duplicated optimal points are all kept.  The result is sorted by
+    the first objective, descending, for stable presentation.
+    """
+    pts = check_matrix(points, "points")
+    n = pts.shape[0]
+    keep = []
+    for i in range(n):
+        others = np.delete(pts, i, axis=0)
+        if others.shape[0] == 0 or not is_dominated(pts[i], others):
+            keep.append(i)
+    keep.sort(key=lambda i: -pts[i, 0])
+    return keep

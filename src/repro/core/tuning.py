@@ -1,0 +1,139 @@
+"""Hyper-parameter grid search with the paper's tuning criteria.
+
+Section V-B/V-D protocol: grid search the mixture coefficients over
+``{0, 0.05, 0.1, 1, 10, 100}`` and the prototype count over
+``{10, 20, 30}``, evaluate each candidate on a validation split, and
+select according to one of three criteria (Table III):
+
+* ``TuningCriterion.MAX_UTILITY`` — best utility (AUC / MAP);
+* ``TuningCriterion.MAX_FAIRNESS`` — best consistency yNN;
+* ``TuningCriterion.OPTIMAL`` — best harmonic mean of the two.
+
+:class:`GridSearch` is deliberately model-agnostic: it receives a
+factory building a candidate from one grid point and an evaluation
+callback returning ``(utility, fairness)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.pareto import pareto_front
+from repro.exceptions import ValidationError
+from repro.utils.mathkit import harmonic_mean
+
+MIXTURE_GRID: Tuple[float, ...] = (0.0, 0.05, 0.1, 1.0, 10.0, 100.0)
+PROTOTYPE_GRID: Tuple[int, ...] = (10, 20, 30)
+
+
+class TuningCriterion(enum.Enum):
+    """Model-selection rules of Table III."""
+
+    MAX_UTILITY = "max_utility"
+    MAX_FAIRNESS = "max_fairness"
+    OPTIMAL = "optimal"
+
+    def score(self, utility: float, fairness: float) -> float:
+        """Scalarise a (utility, fairness) pair under this criterion."""
+        if self is TuningCriterion.MAX_UTILITY:
+            return utility
+        if self is TuningCriterion.MAX_FAIRNESS:
+            return fairness
+        return harmonic_mean(utility, fairness)
+
+
+def default_hyper_grid(
+    mixtures: Sequence[float] = MIXTURE_GRID,
+    prototypes: Sequence[int] = PROTOTYPE_GRID,
+) -> List[Dict[str, float]]:
+    """The paper's grid: all (lambda, mu, K) combinations.
+
+    The degenerate corner lambda = mu = 0 (nothing to optimise) is
+    dropped.
+    """
+    grid = []
+    for lam, mu, k in itertools.product(mixtures, mixtures, prototypes):
+        if lam == 0.0 and mu == 0.0:
+            continue
+        grid.append({"lambda_util": lam, "mu_fair": mu, "n_prototypes": int(k)})
+    return grid
+
+
+@dataclass
+class CandidateResult:
+    """One evaluated grid point."""
+
+    params: Dict
+    utility: float
+    fairness: float
+    artifact: object = None
+
+    def score(self, criterion: TuningCriterion) -> float:
+        return criterion.score(self.utility, self.fairness)
+
+
+@dataclass
+class GridSearchResult:
+    """All evaluated candidates plus convenience selectors."""
+
+    candidates: List[CandidateResult] = field(default_factory=list)
+
+    def best(self, criterion: TuningCriterion) -> CandidateResult:
+        """Highest-scoring candidate under ``criterion``."""
+        if not self.candidates:
+            raise ValidationError("grid search produced no candidates")
+        return max(self.candidates, key=lambda c: c.score(criterion))
+
+    def pareto_optimal(self) -> List[CandidateResult]:
+        """Candidates on the (utility, fairness) Pareto front."""
+        if not self.candidates:
+            return []
+        points = [[c.utility, c.fairness] for c in self.candidates]
+        return [self.candidates[i] for i in pareto_front(points)]
+
+
+class GridSearch:
+    """Exhaustive search over an explicit list of parameter dicts.
+
+    Parameters
+    ----------
+    build:
+        Callable ``params -> artifact`` training one candidate (e.g. a
+        fitted representation plus downstream model).
+    evaluate:
+        Callable ``artifact -> (utility, fairness)`` scoring the
+        candidate on validation data.
+    grid:
+        Iterable of parameter dicts; defaults to the paper's grid.
+    """
+
+    def __init__(
+        self,
+        build: Callable[[Dict], object],
+        evaluate: Callable[[object], Tuple[float, float]],
+        grid: Optional[Iterable[Dict]] = None,
+    ):
+        self.build = build
+        self.evaluate = evaluate
+        self.grid = list(grid) if grid is not None else default_hyper_grid()
+        if not self.grid:
+            raise ValidationError("hyper-parameter grid must not be empty")
+
+    def run(self) -> GridSearchResult:
+        """Train and evaluate every grid point."""
+        result = GridSearchResult()
+        for params in self.grid:
+            artifact = self.build(dict(params))
+            utility, fairness = self.evaluate(artifact)
+            result.candidates.append(
+                CandidateResult(
+                    params=dict(params),
+                    utility=float(utility),
+                    fairness=float(fairness),
+                    artifact=artifact,
+                )
+            )
+        return result

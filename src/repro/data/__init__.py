@@ -1,0 +1,43 @@
+"""Dataset substrate.
+
+The paper evaluates on five public datasets; this offline reproduction
+replaces each with a schema-faithful synthetic generator that matches
+the documented statistics of Table II (sizes, one-hot dimensionality,
+base rates, protected attribute) and injects protected-correlated proxy
+attributes so the paper's central phenomenon — masking alone leaves
+leakage — is preserved.  See DESIGN.md section 3.
+"""
+
+from repro.data.schema import Attribute, DatasetSchema, TabularDataset
+from repro.data.generator import LatentFactorSampler
+from repro.data.synthetic import SyntheticVariant, generate_synthetic
+from repro.data.compas import generate_compas
+from repro.data.census import generate_census
+from repro.data.credit import generate_credit
+from repro.data.airbnb import generate_airbnb
+from repro.data.xing import generate_xing
+from repro.data.splits import train_val_test_split
+
+DATASET_GENERATORS = {
+    "compas": generate_compas,
+    "census": generate_census,
+    "credit": generate_credit,
+    "airbnb": generate_airbnb,
+    "xing": generate_xing,
+}
+
+__all__ = [
+    "Attribute",
+    "DatasetSchema",
+    "TabularDataset",
+    "LatentFactorSampler",
+    "SyntheticVariant",
+    "generate_synthetic",
+    "generate_compas",
+    "generate_census",
+    "generate_credit",
+    "generate_airbnb",
+    "generate_xing",
+    "train_val_test_split",
+    "DATASET_GENERATORS",
+]

@@ -1,0 +1,187 @@
+"""Latent-factor sampling machinery shared by all dataset generators.
+
+Every synthetic dataset follows the same causal template:
+
+1. a latent qualification/desirability factor ``z ~ N(0, 1)`` per
+   record (optionally several factors);
+2. a protected group indicator ``s`` drawn to hit a target prevalence,
+   correlated with some latent factor to create *proxy* structure;
+3. numeric attributes = linear loadings on ``z`` + group shift + noise;
+4. categorical attributes sampled from group- and latent-dependent
+   multinomials (so one-hot blocks also leak group information);
+5. outcomes assigned by thresholding a qualification score *within each
+   group* at the documented base rate, plus label noise — this yields
+   feature-correlated labels with exact Table II base rates.
+
+The result reproduces the phenomenon the paper depends on: removing the
+protected column is not enough, because proxies remain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import RandomStateLike, check_random_state
+
+
+class LatentFactorSampler:
+    """Stateful sampler bound to one RNG.
+
+    All methods draw from ``self.rng``; constructing with a fixed seed
+    makes an entire dataset reproducible.
+    """
+
+    def __init__(self, random_state: RandomStateLike = 0):
+        self.rng = check_random_state(random_state)
+
+    # -- latent structure ------------------------------------------------
+
+    def latent(self, n_records: int, n_factors: int = 1) -> np.ndarray:
+        """Standard-normal latent factors, shape (n_records, n_factors)."""
+        if n_records < 1 or n_factors < 1:
+            raise ValidationError("n_records and n_factors must be positive")
+        return self.rng.standard_normal((n_records, n_factors))
+
+    def protected_groups(
+        self, z: np.ndarray, prevalence: float, correlation: float = 0.0
+    ) -> np.ndarray:
+        """0/1 group labels with target prevalence, optionally tied to z.
+
+        ``correlation`` in [-1, 1] tilts membership probability with the
+        first latent factor, creating proxy structure; 0 gives an
+        independent Bernoulli draw.
+        """
+        if not 0.0 < prevalence < 1.0:
+            raise ValidationError("prevalence must lie in (0, 1)")
+        if not -1.0 <= correlation <= 1.0:
+            raise ValidationError("correlation must lie in [-1, 1]")
+        n = z.shape[0]
+        noise = self.rng.standard_normal(n)
+        score = correlation * z[:, 0] + np.sqrt(max(0.0, 1 - correlation**2)) * noise
+        threshold = np.quantile(score, 1.0 - prevalence)
+        return (score > threshold).astype(np.float64)
+
+    # -- attribute synthesis ----------------------------------------------
+
+    def numeric_attribute(
+        self,
+        z: np.ndarray,
+        s: np.ndarray,
+        *,
+        loading: float = 1.0,
+        group_shift: float = 0.0,
+        noise: float = 1.0,
+        factor: int = 0,
+        scale: float = 1.0,
+        offset: float = 0.0,
+        clip_min: Optional[float] = None,
+    ) -> np.ndarray:
+        """A numeric column: latent loading + group shift + Gaussian noise."""
+        n = z.shape[0]
+        col = (
+            loading * z[:, factor]
+            + group_shift * s
+            + noise * self.rng.standard_normal(n)
+        )
+        col = offset + scale * col
+        if clip_min is not None:
+            col = np.maximum(col, clip_min)
+        return col
+
+    def categorical_attribute(
+        self,
+        s: np.ndarray,
+        n_categories: int,
+        *,
+        group_skew: float = 0.0,
+        z: Optional[np.ndarray] = None,
+        latent_skew: float = 0.0,
+        factor: int = 0,
+    ) -> np.ndarray:
+        """Category codes with group- and latent-dependent distributions.
+
+        Each group gets its own multinomial: a shared Dirichlet-ish base
+        distribution tilted by ``group_skew`` (0 = identical groups,
+        1 = strongly divergent).  ``latent_skew`` additionally shifts
+        the preferred category with the latent factor, so categories
+        carry qualification signal as well as group signal.
+        """
+        if n_categories < 2:
+            raise ValidationError("need at least 2 categories")
+        if not 0.0 <= group_skew <= 1.0:
+            raise ValidationError("group_skew must lie in [0, 1]")
+        n = s.shape[0]
+        base = self.rng.dirichlet(np.ones(n_categories))
+        tilt = self.rng.dirichlet(np.ones(n_categories))
+        probs1 = (1.0 - group_skew) * base + group_skew * tilt
+        codes = np.empty(n, dtype=np.intp)
+        for group, probs in ((0.0, base), (1.0, probs1)):
+            mask = s == group
+            count = int(mask.sum())
+            if count:
+                codes[mask] = self.rng.choice(n_categories, size=count, p=probs)
+        if z is not None and latent_skew > 0.0:
+            # Shift codes toward higher categories for high-latent records.
+            shift = np.clip(
+                np.round(latent_skew * z[:, factor]).astype(np.intp),
+                -(n_categories - 1),
+                n_categories - 1,
+            )
+            codes = np.clip(codes + shift, 0, n_categories - 1)
+        return codes
+
+    @staticmethod
+    def one_hot(codes: np.ndarray, n_categories: int) -> np.ndarray:
+        """Indicator block, shape (len(codes), n_categories)."""
+        codes = np.asarray(codes, dtype=np.intp)
+        if codes.size and (codes.min() < 0 or codes.max() >= n_categories):
+            raise ValidationError("category codes out of range")
+        block = np.zeros((codes.size, n_categories))
+        block[np.arange(codes.size), codes] = 1.0
+        return block
+
+    # -- outcomes ---------------------------------------------------------
+
+    def outcome_by_group_rate(
+        self,
+        qualification: np.ndarray,
+        s: np.ndarray,
+        rate_protected: float,
+        rate_unprotected: float,
+        *,
+        label_noise: float = 0.1,
+    ) -> np.ndarray:
+        """Binary outcomes hitting per-group base rates.
+
+        Within each group, the top fraction by qualification score
+        receives a positive label; ``label_noise`` flips a random
+        fraction to keep the task non-degenerate.  The pre-noise
+        threshold is corrected so that the *post-noise* positive rate
+        matches the requested base rate in expectation:
+        ``rate = q (1 - noise) + (1 - q) noise  =>  q = (rate - noise)
+        / (1 - 2 noise)`` (clipped into (0, 1) when the noise level
+        makes an extreme rate unreachable).
+        """
+        for rate in (rate_protected, rate_unprotected):
+            if not 0.0 < rate < 1.0:
+                raise ValidationError("base rates must lie in (0, 1)")
+        if not 0.0 <= label_noise < 0.5:
+            raise ValidationError("label_noise must lie in [0, 0.5)")
+        n = qualification.shape[0]
+        y = np.zeros(n)
+        for group, rate in ((1.0, rate_protected), (0.0, rate_unprotected)):
+            mask = s == group
+            if not np.any(mask):
+                continue
+            pre_noise = (rate - label_noise) / (1.0 - 2.0 * label_noise)
+            pre_noise = float(np.clip(pre_noise, 1e-3, 1.0 - 1e-3))
+            q = qualification[mask]
+            threshold = np.quantile(q, 1.0 - pre_noise)
+            y[mask] = (q > threshold).astype(np.float64)
+        if label_noise > 0.0:
+            flips = self.rng.random(n) < label_noise
+            y[flips] = 1.0 - y[flips]
+        return y

@@ -1,0 +1,191 @@
+"""Dataset schema objects and the in-memory dataset container.
+
+A :class:`DatasetSchema` describes raw attributes (before one-hot
+unfolding); a :class:`TabularDataset` is the fully encoded matrix with
+outcome/protected metadata that the experiment pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchemaError, ValidationError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One raw attribute of a dataset schema.
+
+    ``kind`` is ``'numeric'`` or ``'categorical'``; categorical
+    attributes carry their level count and unfold into that many
+    indicator columns.
+    """
+
+    name: str
+    kind: str
+    n_categories: int = 0
+    protected: bool = False
+
+    def __post_init__(self):
+        if self.kind not in ("numeric", "categorical"):
+            raise SchemaError(f"unknown attribute kind {self.kind!r}")
+        if self.kind == "categorical" and self.n_categories < 2:
+            raise SchemaError(
+                f"categorical attribute {self.name!r} needs >= 2 categories"
+            )
+        if self.kind == "numeric" and self.n_categories:
+            raise SchemaError(f"numeric attribute {self.name!r} cannot have categories")
+
+    @property
+    def encoded_width(self) -> int:
+        """Number of columns this attribute contributes after encoding."""
+        return self.n_categories if self.kind == "categorical" else 1
+
+
+@dataclass(frozen=True)
+class DatasetSchema:
+    """An ordered collection of attributes."""
+
+    name: str
+    attributes: tuple
+
+    def __post_init__(self):
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema {self.name!r}")
+        if not self.attributes:
+            raise SchemaError("schema needs at least one attribute")
+
+    @property
+    def encoded_width(self) -> int:
+        """Total encoded (post one-hot) dimensionality."""
+        return sum(a.encoded_width for a in self.attributes)
+
+    @property
+    def protected_attributes(self) -> List[Attribute]:
+        return [a for a in self.attributes if a.protected]
+
+    def encoded_indices_of(self, attribute_name: str) -> List[int]:
+        """Encoded column range contributed by one raw attribute."""
+        offset = 0
+        for attr in self.attributes:
+            width = attr.encoded_width
+            if attr.name == attribute_name:
+                return list(range(offset, offset + width))
+            offset += width
+        raise SchemaError(f"no attribute named {attribute_name!r}")
+
+    @property
+    def protected_encoded_indices(self) -> List[int]:
+        """All encoded columns belonging to protected attributes."""
+        out: List[int] = []
+        for attr in self.protected_attributes:
+            out.extend(self.encoded_indices_of(attr.name))
+        return out
+
+    @property
+    def encoded_feature_names(self) -> List[str]:
+        """Column names after one-hot unfolding, in encoding order."""
+        names: List[str] = []
+        for attr in self.attributes:
+            if attr.kind == "numeric":
+                names.append(attr.name)
+            else:
+                names.extend(
+                    f"{attr.name}={i}" for i in range(attr.n_categories)
+                )
+        return names
+
+
+@dataclass
+class TabularDataset:
+    """A fully encoded dataset ready for the experiment pipeline.
+
+    Attributes
+    ----------
+    name: dataset identifier (e.g. ``'compas'``).
+    X: encoded feature matrix, shape (n_records, encoded_width).
+    y: outcome — binary labels for classification, real scores for
+       ranking tasks.
+    protected: 0/1 group membership per record (the group used in
+       group-fairness reporting).
+    protected_indices: encoded columns carrying protected attributes.
+    feature_names: encoded column names.
+    task: ``'classification'`` or ``'ranking'``.
+    query_ids: per-record query id (ranking datasets only).
+    """
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+    protected: np.ndarray
+    protected_indices: np.ndarray
+    feature_names: List[str] = field(default_factory=list)
+    task: str = "classification"
+    query_ids: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64).ravel()
+        self.protected = np.asarray(self.protected, dtype=np.float64).ravel()
+        self.protected_indices = np.asarray(self.protected_indices, dtype=np.intp)
+        if self.X.ndim != 2:
+            raise ValidationError("X must be 2-D")
+        n = self.X.shape[0]
+        if self.y.size != n or self.protected.size != n:
+            raise ValidationError("X, y and protected must agree on record count")
+        if self.task not in ("classification", "ranking"):
+            raise ValidationError("task must be 'classification' or 'ranking'")
+        if self.query_ids is not None:
+            self.query_ids = np.asarray(self.query_ids, dtype=np.intp).ravel()
+            if self.query_ids.size != n:
+                raise ValidationError("query_ids must have one entry per record")
+
+    @property
+    def n_records(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def nonprotected_indices(self) -> np.ndarray:
+        """Complement of :attr:`protected_indices`."""
+        mask = np.ones(self.n_features, dtype=bool)
+        mask[self.protected_indices] = False
+        return np.flatnonzero(mask)
+
+    @property
+    def X_nonprotected(self) -> np.ndarray:
+        """Records restricted to non-protected columns (the x* space)."""
+        return self.X[:, self.nonprotected_indices]
+
+    def base_rate(self, group: int) -> float:
+        """Positive-outcome rate within a protected group (0 or 1).
+
+        Only meaningful for classification tasks.
+        """
+        if self.task != "classification":
+            raise ValidationError("base_rate is defined for classification tasks")
+        mask = self.protected == group
+        if not np.any(mask):
+            raise ValidationError(f"no records with protected == {group}")
+        return float(self.y[mask].mean())
+
+    def subset(self, indices) -> "TabularDataset":
+        """A new dataset restricted to ``indices`` (rows)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return TabularDataset(
+            name=self.name,
+            X=self.X[idx],
+            y=self.y[idx],
+            protected=self.protected[idx],
+            protected_indices=self.protected_indices.copy(),
+            feature_names=list(self.feature_names),
+            task=self.task,
+            query_ids=None if self.query_ids is None else self.query_ids[idx],
+        )

@@ -1,0 +1,95 @@
+"""Train / validation / test splitting.
+
+Section V-B: "We randomly split the datasets into three parts ... the
+same data split [is used] to compare all methods."  The default split
+is therefore three equal parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import RandomStateLike, check_random_state
+
+
+@dataclass(frozen=True)
+class Split:
+    """Row indices of the three partitions."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return self.train.size, self.val.size, self.test.size
+
+
+def train_val_test_split(
+    n_records: int,
+    fractions: Tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3),
+    *,
+    random_state: RandomStateLike = 0,
+) -> Split:
+    """Random three-way split of ``range(n_records)``.
+
+    ``fractions`` must be positive and sum to 1 (within tolerance); the
+    test partition absorbs rounding so all rows are used exactly once.
+    """
+    if n_records < 3:
+        raise ValidationError("need at least 3 records to split three ways")
+    frac = np.asarray(fractions, dtype=np.float64)
+    if frac.size != 3 or np.any(frac <= 0):
+        raise ValidationError("fractions must be three positive numbers")
+    if abs(frac.sum() - 1.0) > 1e-9:
+        raise ValidationError("fractions must sum to 1")
+    rng = check_random_state(random_state)
+    perm = rng.permutation(n_records)
+    n_train = max(1, int(round(n_records * frac[0])))
+    n_val = max(1, int(round(n_records * frac[1])))
+    n_train = min(n_train, n_records - 2)
+    n_val = min(n_val, n_records - n_train - 1)
+    return Split(
+        train=np.sort(perm[:n_train]),
+        val=np.sort(perm[n_train : n_train + n_val]),
+        test=np.sort(perm[n_train + n_val :]),
+    )
+
+
+def stratified_split(
+    labels,
+    fractions: Tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3),
+    *,
+    random_state: RandomStateLike = 0,
+) -> Split:
+    """Three-way split preserving label proportions in each part.
+
+    Useful for small or imbalanced classification datasets where a
+    uniform split risks a single-class partition.
+    """
+    labels = np.asarray(labels).ravel()
+    if labels.size < 3:
+        raise ValidationError("need at least 3 records to split three ways")
+    rng = check_random_state(random_state)
+    train_parts, val_parts, test_parts = [], [], []
+    for value in np.unique(labels):
+        idx = np.flatnonzero(labels == value)
+        if idx.size < 3:
+            raise ValidationError(
+                f"label {value!r} has fewer than 3 records; cannot stratify"
+            )
+        sub = train_val_test_split(
+            idx.size, fractions, random_state=rng
+        )
+        train_parts.append(idx[sub.train])
+        val_parts.append(idx[sub.val])
+        test_parts.append(idx[sub.test])
+    return Split(
+        train=np.sort(np.concatenate(train_parts)),
+        val=np.sort(np.concatenate(val_parts)),
+        test=np.sort(np.concatenate(test_parts)),
+    )

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input array, label vector or parameter failed validation."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before ``fit``."""
+
+
+class ConvergenceWarningError(ReproError, RuntimeError):
+    """Optimisation failed so badly that no usable parameters exist."""
+
+
+class SchemaError(ReproError, ValueError):
+    """A dataset schema is internally inconsistent."""

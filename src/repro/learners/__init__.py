@@ -1,0 +1,27 @@
+"""Downstream predictive models implemented from scratch.
+
+The paper evaluates representations by training a standard logistic
+regression (classification) and a linear regression (learning-to-rank)
+on top of them.  This subpackage provides those learners plus the
+preprocessing pieces (standard scaler, one-hot encoder) and a kNN
+searcher used by the consistency metric — all pure numpy/scipy, no
+scikit-learn.
+"""
+
+from repro.learners.base import Classifier, Regressor
+from repro.learners.encoder import OneHotEncoder
+from repro.learners.knn import KNearestNeighbors
+from repro.learners.linear import LinearRegression, RidgeRegression
+from repro.learners.logistic import LogisticRegression
+from repro.learners.scaler import StandardScaler
+
+__all__ = [
+    "Classifier",
+    "Regressor",
+    "OneHotEncoder",
+    "KNearestNeighbors",
+    "LinearRegression",
+    "RidgeRegression",
+    "LogisticRegression",
+    "StandardScaler",
+]

@@ -1,0 +1,62 @@
+"""Estimator protocols shared by all learners.
+
+The library follows the familiar fit/predict convention.  These tiny
+abstract bases exist so the pipeline code can express "any classifier"
+or "any regressor" without importing a specific implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+
+class BaseEstimator(abc.ABC):
+    """Common plumbing: fitted-state tracking and parameter reporting."""
+
+    _fitted: bool = False
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before calling this method"
+            )
+
+    def get_params(self) -> dict:
+        """Public constructor parameters (attributes without underscore)."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and not key.endswith("_")
+        }
+
+
+class Classifier(BaseEstimator):
+    """A binary classifier with probability outputs."""
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on feature matrix ``X`` and 0/1 labels ``y``."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row of ``X``."""
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions by thresholding ``predict_proba``."""
+        return (self.predict_proba(X) >= threshold).astype(np.float64)
+
+
+class Regressor(BaseEstimator):
+    """A real-valued regressor."""
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor":
+        """Train on feature matrix ``X`` and real targets ``y``."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets for each row of ``X``."""

@@ -1,0 +1,110 @@
+"""One-hot encoding of categorical columns.
+
+The paper unfolds every categorical attribute into binary indicator
+columns before learning representations (Section V-B); the documented
+dataset dimensionalities in Table II are post-unfolding.  This encoder
+works on object/str or integer category codes and keeps numeric columns
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class OneHotEncoder:
+    """Expand selected columns of a mixed matrix into indicators.
+
+    Parameters
+    ----------
+    categorical_columns:
+        Indices (into the raw input columns) to one-hot encode.  All
+        other columns are coerced to float and passed through in input
+        order, followed by the indicator blocks.
+
+    Attributes
+    ----------
+    categories_:
+        Mapping column index -> sorted list of categories seen in fit.
+    feature_names_:
+        Output column names, ``col{i}`` for numeric pass-through and
+        ``col{i}={category}`` for indicators.
+    """
+
+    def __init__(self, categorical_columns: Sequence[int]):
+        self.categorical_columns = sorted(set(int(c) for c in categorical_columns))
+        self.categories_: Dict[int, List] = {}
+        self.feature_names_: List[str] = []
+        self._n_input_cols: Optional[int] = None
+
+    def _split_columns(self, X: np.ndarray) -> Tuple[List[int], List[int]]:
+        n_cols = X.shape[1]
+        cat = [c for c in self.categorical_columns if c < n_cols]
+        if len(cat) != len(self.categorical_columns):
+            raise ValidationError(
+                f"categorical column index out of range for input with {n_cols} columns"
+            )
+        num = [c for c in range(n_cols) if c not in set(cat)]
+        return num, cat
+
+    def fit(self, X) -> "OneHotEncoder":
+        X = np.asarray(X, dtype=object)
+        if X.ndim != 2 or X.size == 0:
+            raise ValidationError("X must be a non-empty 2-D array")
+        self._n_input_cols = X.shape[1]
+        num, cat = self._split_columns(X)
+        self.categories_ = {
+            c: sorted(set(X[:, c].tolist()), key=repr) for c in cat
+        }
+        self.feature_names_ = [f"col{c}" for c in num]
+        for c in cat:
+            self.feature_names_.extend(
+                f"col{c}={value}" for value in self.categories_[c]
+            )
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self._n_input_cols is None:
+            raise NotFittedError("OneHotEncoder must be fitted before transform")
+        X = np.asarray(X, dtype=object)
+        if X.ndim != 2:
+            raise ValidationError("X must be 2-D")
+        if X.shape[1] != self._n_input_cols:
+            raise ValidationError(
+                f"X has {X.shape[1]} columns, encoder was fitted with {self._n_input_cols}"
+            )
+        num, cat = self._split_columns(X)
+        blocks = []
+        if num:
+            try:
+                blocks.append(X[:, num].astype(np.float64))
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(f"non-numeric value in numeric column: {exc}")
+        for c in cat:
+            cats = self.categories_[c]
+            block = np.zeros((X.shape[0], len(cats)))
+            index = {value: j for j, value in enumerate(cats)}
+            for i, value in enumerate(X[:, c].tolist()):
+                j = index.get(value)
+                if j is not None:  # unseen categories encode as all-zero
+                    block[i, j] = 1.0
+            blocks.append(block)
+        return np.hstack(blocks) if blocks else np.empty((X.shape[0], 0))
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def output_indices_for(self, column: int) -> List[int]:
+        """Output column positions produced by raw input ``column``."""
+        if self._n_input_cols is None:
+            raise NotFittedError("OneHotEncoder must be fitted first")
+        name_prefixes = (f"col{column}", f"col{column}=")
+        return [
+            j
+            for j, name in enumerate(self.feature_names_)
+            if name == name_prefixes[0] or name.startswith(name_prefixes[1])
+        ]

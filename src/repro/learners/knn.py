@@ -1,0 +1,79 @@
+"""Brute-force k-nearest-neighbour search.
+
+The consistency metric yNN (Section V-C) needs, for every record, its
+``k`` nearest neighbours *in the original non-protected attribute
+space*.  A vectorised brute-force search is exact and fast enough for
+the dataset sizes involved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learners.base import BaseEstimator
+from repro.utils.mathkit import pairwise_sq_euclidean
+from repro.utils.validation import check_matrix
+
+
+class KNearestNeighbors(BaseEstimator):
+    """Exact kNN index over a fixed reference set.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours returned per query point.
+    """
+
+    def __init__(self, k: int = 10):
+        if k < 1:
+            raise ValidationError("k must be at least 1")
+        self.k = int(k)
+        self._X: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "KNearestNeighbors":
+        """Index the reference points ``X``."""
+        self._X = check_matrix(X, "X")
+        self._fitted = True
+        return self
+
+    def kneighbors(self, Q=None, *, exclude_self: bool = False) -> np.ndarray:
+        """Indices of the ``k`` nearest reference points per query row.
+
+        Parameters
+        ----------
+        Q:
+            Query matrix; defaults to the indexed points themselves.
+        exclude_self:
+            When querying the reference set with itself, drop the
+            trivial zero-distance self match (the yNN convention).
+
+        Returns
+        -------
+        Integer array of shape ``(len(Q), k)`` sorted by distance.
+        """
+        self._check_fitted()
+        Q = self._X if Q is None else check_matrix(Q, "Q")
+        if Q.shape[1] != self._X.shape[1]:
+            raise ValidationError(
+                f"query has {Q.shape[1]} features, index has {self._X.shape[1]}"
+            )
+        n_ref = self._X.shape[0]
+        k = self.k
+        budget = k + 1 if exclude_self else k
+        if budget > n_ref:
+            raise ValidationError(
+                f"requested {budget} neighbours but index holds only {n_ref} points"
+            )
+        D = pairwise_sq_euclidean(Q, self._X)
+        if exclude_self:
+            if Q.shape[0] != n_ref:
+                raise ValidationError("exclude_self requires querying the indexed set")
+            np.fill_diagonal(D, np.inf)
+        # argpartition for the k smallest, then sort those k by distance.
+        part = np.argpartition(D, kth=k - 1, axis=1)[:, :k]
+        row_d = np.take_along_axis(D, part, axis=1)
+        order = np.argsort(row_d, axis=1, kind="stable")
+        return np.take_along_axis(part, order, axis=1)

@@ -1,0 +1,81 @@
+"""Ordinary least squares and ridge regression.
+
+The learning-to-rank experiments (Section V-E) train a plain linear
+regression on each representation to produce candidate scores.  Both
+models solve their normal equations directly; ridge adds Tikhonov
+damping on the weights (never the intercept).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learners.base import Regressor
+from repro.utils.validation import check_matrix, check_vector
+
+
+class LinearRegression(Regressor):
+    """Least-squares linear regression with intercept."""
+
+    def __init__(self):
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "LinearRegression":
+        X = check_matrix(X, "X")
+        y = check_vector(y, "y", length=X.shape[0])
+        design = np.hstack([np.ones((X.shape[0], 1)), X])
+        theta, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.intercept_ = float(theta[0])
+        self.coef_ = theta[1:].copy()
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_matrix(X, "X")
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was fitted with {self.coef_.shape[0]}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(Regressor):
+    """Linear regression with an L2 penalty ``l2 * ||w||^2``.
+
+    Solves ``(X'X + l2*I) w = X'y`` on centred data so the intercept is
+    not penalised.
+    """
+
+    def __init__(self, l2: float = 1.0):
+        if l2 < 0:
+            raise ValidationError("l2 must be non-negative")
+        self.l2 = float(l2)
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X = check_matrix(X, "X")
+        y = check_vector(y, "y", length=X.shape[0])
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        yc = y - y_mean
+        gram = Xc.T @ Xc + self.l2 * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_matrix(X, "X")
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was fitted with {self.coef_.shape[0]}"
+            )
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,60 @@
+"""Feature standardisation.
+
+Section V-B: "all feature vectors are normalized to have unit
+variance".  :class:`StandardScaler` divides by the per-column standard
+deviation (optionally also centring); constant columns are passed
+through unchanged to avoid division by zero.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learners.base import BaseEstimator
+from repro.utils.validation import check_matrix
+
+
+class StandardScaler(BaseEstimator):
+    """Scale columns to unit variance, optionally zero mean.
+
+    Parameters
+    ----------
+    with_mean:
+        Subtract the column mean before scaling.  The paper only
+        normalises variance, so the default is ``False``.
+    """
+
+    def __init__(self, with_mean: bool = False):
+        self.with_mean = bool(with_mean)
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_matrix(X, "X")
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_matrix(X, "X")
+        if X.shape[1] != self.scale_.shape[0]:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, scaler was fitted with {self.scale_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z) -> np.ndarray:
+        """Map scaled data back to the original units."""
+        self._check_fitted()
+        Z = check_matrix(Z, "Z")
+        return Z * self.scale_ + self.mean_

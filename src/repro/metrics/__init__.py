@@ -1,0 +1,49 @@
+"""Evaluation measures used by the paper (Section V-C).
+
+Utility: accuracy, ROC-AUC (classification); Kendall's tau, AP@k, MAP
+(ranking).  Individual fairness: consistency yNN.  Group fairness:
+statistical parity, equality of opportunity, protected share in top-k.
+Obfuscation: adversarial accuracy of recovering the protected group.
+"""
+
+from repro.metrics.classification import accuracy, confusion_counts, roc_auc
+from repro.metrics.ranking import (
+    average_precision_at_k,
+    kendall_tau,
+    mean_average_precision,
+    ndcg_at_k,
+)
+from repro.metrics.individual import consistency
+from repro.metrics.group import (
+    equal_opportunity,
+    protected_share_at_k,
+    statistical_parity,
+)
+from repro.metrics.obfuscation import adversarial_accuracy
+from repro.metrics.curves import (
+    auc_trapezoid,
+    calibration_curve,
+    expected_calibration_error,
+    precision_recall_curve,
+    roc_curve,
+)
+
+__all__ = [
+    "auc_trapezoid",
+    "calibration_curve",
+    "expected_calibration_error",
+    "precision_recall_curve",
+    "roc_curve",
+    "accuracy",
+    "confusion_counts",
+    "roc_auc",
+    "average_precision_at_k",
+    "kendall_tau",
+    "mean_average_precision",
+    "ndcg_at_k",
+    "consistency",
+    "equal_opportunity",
+    "protected_share_at_k",
+    "statistical_parity",
+    "adversarial_accuracy",
+]

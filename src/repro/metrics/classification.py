@@ -1,0 +1,66 @@
+"""Classification utility metrics: accuracy, confusion counts, ROC-AUC.
+
+ROC-AUC is computed by the rank statistic (Mann-Whitney U) with proper
+handling of tied scores, which is exact and O(n log n).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_binary_labels, check_vector
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exactly matching labels."""
+    y_true = check_binary_labels(y_true, "y_true")
+    y_pred = check_binary_labels(y_pred, "y_pred", length=y_true.size)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_counts(y_true, y_pred) -> Dict[str, int]:
+    """True/false positive/negative counts as a dict."""
+    y_true = check_binary_labels(y_true, "y_true")
+    y_pred = check_binary_labels(y_pred, "y_pred", length=y_true.size)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return {"tp": tp, "tn": tn, "fp": fp, "fn": fn}
+
+
+def _rank_with_ties(scores: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing the mean rank."""
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        # positions i..j (0-based) share the average 1-based rank
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def roc_auc(y_true, scores) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Requires both classes to be present; raises otherwise because an
+    AUC is undefined for a single-class sample.
+    """
+    y_true = check_binary_labels(y_true, "y_true")
+    scores = check_vector(scores, "scores", length=y_true.size)
+    n_pos = int(np.sum(y_true == 1))
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValidationError("roc_auc needs both positive and negative samples")
+    ranks = _rank_with_ties(scores)
+    rank_sum_pos = float(np.sum(ranks[y_true == 1]))
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))

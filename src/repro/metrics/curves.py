@@ -1,0 +1,112 @@
+"""Threshold curves: ROC, precision-recall, calibration.
+
+Supplementary diagnostics used by the audit examples and available to
+downstream users; :func:`roc_curve`'s trapezoidal area agrees with the
+rank-based :func:`repro.metrics.classification.roc_auc` (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_binary_labels, check_vector
+
+
+def roc_curve(y_true, scores) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC points ``(fpr, tpr, thresholds)`` sorted by threshold desc.
+
+    Includes the (0, 0) and (1, 1) endpoints.  Tied scores collapse to
+    a single point, so the curve is a step function without artefacts.
+    """
+    y_true = check_binary_labels(y_true, "y_true")
+    scores = check_vector(scores, "scores", length=y_true.size)
+    n_pos = float(np.sum(y_true == 1))
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValidationError("roc_curve needs both classes")
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
+    sorted_true = y_true[order]
+    tp = np.cumsum(sorted_true)
+    fp = np.cumsum(1.0 - sorted_true)
+    # Keep only the last index of each tied-score run.
+    distinct = np.flatnonzero(np.diff(sorted_scores) != 0.0)
+    idx = np.concatenate([distinct, [y_true.size - 1]])
+    tpr = np.concatenate([[0.0], tp[idx] / n_pos])
+    fpr = np.concatenate([[0.0], fp[idx] / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[idx]])
+    return fpr, tpr, thresholds
+
+
+def auc_trapezoid(fpr, tpr) -> float:
+    """Area under a piecewise-linear curve via the trapezoid rule."""
+    fpr = check_vector(fpr, "fpr")
+    tpr = check_vector(tpr, "tpr", length=fpr.size)
+    if np.any(np.diff(fpr) < 0):
+        raise ValidationError("fpr must be non-decreasing")
+    # np.trapz was removed in numpy 2; integrate manually.
+    widths = np.diff(fpr)
+    heights = 0.5 * (tpr[1:] + tpr[:-1])
+    return float(np.sum(widths * heights))
+
+
+def precision_recall_curve(y_true, scores) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision-recall points ``(precision, recall, thresholds)``.
+
+    Sorted by decreasing threshold; recall is non-decreasing along the
+    returned arrays.
+    """
+    y_true = check_binary_labels(y_true, "y_true")
+    scores = check_vector(scores, "scores", length=y_true.size)
+    n_pos = float(np.sum(y_true == 1))
+    if n_pos == 0:
+        raise ValidationError("precision_recall_curve needs positive samples")
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
+    sorted_true = y_true[order]
+    tp = np.cumsum(sorted_true)
+    predicted = np.arange(1, y_true.size + 1, dtype=np.float64)
+    distinct = np.flatnonzero(np.diff(sorted_scores) != 0.0)
+    idx = np.concatenate([distinct, [y_true.size - 1]])
+    precision = tp[idx] / predicted[idx]
+    recall = tp[idx] / n_pos
+    return precision, recall, sorted_scores[idx]
+
+
+def calibration_curve(
+    y_true, probabilities, n_bins: int = 10
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reliability diagram data.
+
+    Bins predictions into ``n_bins`` equal-width probability bins and
+    returns ``(mean_predicted, fraction_positive, counts)`` per
+    non-empty bin.  A perfectly calibrated model has
+    ``mean_predicted == fraction_positive``.
+    """
+    y_true = check_binary_labels(y_true, "y_true")
+    probabilities = check_vector(probabilities, "probabilities", length=y_true.size)
+    if np.any((probabilities < 0) | (probabilities > 1)):
+        raise ValidationError("probabilities must lie in [0, 1]")
+    if n_bins < 1:
+        raise ValidationError("n_bins must be positive")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins = np.clip(np.digitize(probabilities, edges[1:-1]), 0, n_bins - 1)
+    mean_pred, frac_pos, counts = [], [], []
+    for b in range(n_bins):
+        mask = bins == b
+        if not np.any(mask):
+            continue
+        mean_pred.append(float(probabilities[mask].mean()))
+        frac_pos.append(float(y_true[mask].mean()))
+        counts.append(int(mask.sum()))
+    return np.asarray(mean_pred), np.asarray(frac_pos), np.asarray(counts)
+
+
+def expected_calibration_error(y_true, probabilities, n_bins: int = 10) -> float:
+    """ECE: count-weighted mean |confidence - accuracy| over bins."""
+    mean_pred, frac_pos, counts = calibration_curve(y_true, probabilities, n_bins)
+    weights = counts / counts.sum()
+    return float(np.sum(weights * np.abs(mean_pred - frac_pos)))

@@ -1,0 +1,69 @@
+"""Group-fairness metrics: statistical parity, equality of opportunity,
+and the protected share of top-k ranks.
+
+The paper reports parity and EqOpp on a "1 is perfectly fair" scale:
+
+    Parity = 1 - | mean(yhat | protected) - mean(yhat | unprotected) |
+    EqOpp  = 1 - | TPR_protected - TPR_unprotected |
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_binary_labels, check_vector
+
+
+def _split_groups(values: np.ndarray, protected: np.ndarray):
+    prot = values[protected == 1]
+    nonprot = values[protected == 0]
+    if prot.size == 0 or nonprot.size == 0:
+        raise ValidationError("both protected and unprotected groups must be non-empty")
+    return prot, nonprot
+
+
+def statistical_parity(y_hat, protected) -> float:
+    """1 minus the absolute acceptance-rate gap between groups."""
+    y_hat = check_vector(y_hat, "y_hat")
+    protected = check_binary_labels(protected, "protected", length=y_hat.size)
+    prot, nonprot = _split_groups(y_hat, protected)
+    return float(1.0 - abs(prot.mean() - nonprot.mean()))
+
+
+def equal_opportunity(y_true, y_hat, protected) -> float:
+    """1 minus the absolute true-positive-rate gap between groups.
+
+    Groups with no positive ground-truth samples make the TPR undefined;
+    this raises rather than silently reporting fairness.
+    """
+    y_true = check_binary_labels(y_true, "y_true")
+    y_hat = check_binary_labels(y_hat, "y_hat", length=y_true.size)
+    protected = check_binary_labels(protected, "protected", length=y_true.size)
+    rates = []
+    for group in (1.0, 0.0):
+        mask = (protected == group) & (y_true == 1)
+        if not np.any(mask):
+            raise ValidationError(
+                "equal_opportunity undefined: a group has no positive samples"
+            )
+        rates.append(float(y_hat[mask].mean()))
+    return float(1.0 - abs(rates[0] - rates[1]))
+
+
+def protected_share_at_k(ranking: Sequence[int], protected, k: int = 10) -> float:
+    """Fraction of protected candidates within the top-``k`` ranks.
+
+    ``ranking`` is an ordering of item indices (best first); ``protected``
+    is the per-item 0/1 protected indicator.
+    """
+    protected = check_binary_labels(protected, "protected")
+    items = list(ranking)[:k]
+    if not items:
+        raise ValidationError("ranking must not be empty")
+    idx = np.asarray(items, dtype=np.intp)
+    if idx.min() < 0 or idx.max() >= protected.size:
+        raise ValidationError("ranking contains item ids outside the protected vector")
+    return float(protected[idx].mean())

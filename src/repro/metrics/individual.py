@@ -1,0 +1,63 @@
+"""Individual-fairness metric: consistency (yNN).
+
+Definition (Section V-C, with the paper's footnote-1 bug fix):
+
+    yNN = 1 - (1 / (M k)) * sum_i sum_{j in kNN(x*_i)} |yhat_i - yhat_j|
+
+Neighbours are found in the *original, non-protected* attribute space
+``X*`` while the predictions ``yhat`` come from whatever representation
+the downstream model was trained on.  A score of 1 means every record
+receives the same outcome as all of its qualification-neighbours.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learners.knn import KNearestNeighbors
+from repro.utils.validation import check_matrix, check_vector
+
+
+def consistency(X_nonprotected, y_hat, k: int = 10) -> float:
+    """Consistency yNN of outcomes ``y_hat`` w.r.t. neighbours in X*.
+
+    Parameters
+    ----------
+    X_nonprotected:
+        Records restricted to their non-protected attributes (the
+        space in which "similar individuals" is judged).
+    y_hat:
+        Outcomes being audited: hard labels, probabilities, or ranking
+        scores scaled to [0, 1].
+    k:
+        Neighbourhood size (the paper uses 10).
+    """
+    X = check_matrix(X_nonprotected, "X_nonprotected")
+    y_hat = check_vector(y_hat, "y_hat", length=X.shape[0])
+    if X.shape[0] <= k:
+        raise ValidationError(
+            f"consistency with k={k} needs more than {k} records, got {X.shape[0]}"
+        )
+    index = KNearestNeighbors(k=k).fit(X)
+    neighbors = index.kneighbors(exclude_self=True)
+    diffs = np.abs(y_hat[:, None] - y_hat[neighbors])
+    return float(1.0 - diffs.mean())
+
+
+def consistency_of_scores(X_nonprotected, scores, k: int = 10) -> float:
+    """Consistency for unbounded scores, min-max scaled into [0, 1].
+
+    Ranking scores are not probabilities; scaling them first keeps the
+    metric within [0, 1] and comparable across models (this mirrors how
+    consistency is reported for the learning-to-rank task).
+    """
+    scores = check_vector(scores, "scores")
+    lo, hi = float(scores.min()), float(scores.max())
+    if hi > lo:
+        scaled = (scores - lo) / (hi - lo)
+    else:
+        scaled = np.zeros_like(scores)
+    return consistency(X_nonprotected, scaled, k=k)

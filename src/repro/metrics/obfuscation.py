@@ -1,0 +1,63 @@
+"""Information-obfuscation audit (Figure 4 of the paper).
+
+A representation leaks protected information if an adversary can train
+a classifier to recover group membership from it.  The audit trains a
+logistic regression on a split of the representation and reports its
+held-out accuracy — lower (closer to the majority-class rate / 0.5) is
+better.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.learners.logistic import LogisticRegression
+from repro.utils.rng import RandomStateLike, check_random_state
+from repro.utils.validation import check_binary_labels, check_matrix
+from repro.exceptions import ValidationError
+
+
+def adversarial_accuracy(
+    Z,
+    protected,
+    *,
+    test_fraction: float = 0.3,
+    l2: float = 1.0,
+    random_state: RandomStateLike = 0,
+) -> float:
+    """Held-out accuracy of predicting ``protected`` from representation ``Z``.
+
+    Parameters
+    ----------
+    Z:
+        The data representation under audit (rows = individuals).
+    protected:
+        0/1 group membership per row.
+    test_fraction:
+        Fraction of rows held out to score the adversary.
+    l2:
+        Regularisation of the adversary's logistic regression.
+    random_state:
+        Controls the train/test shuffle.
+    """
+    Z = check_matrix(Z, "Z")
+    protected = check_binary_labels(protected, "protected", length=Z.shape[0])
+    if not 0.0 < test_fraction < 1.0:
+        raise ValidationError("test_fraction must be in (0, 1)")
+    rng = check_random_state(random_state)
+    n = Z.shape[0]
+    n_test = max(1, int(round(n * test_fraction)))
+    if n - n_test < 2:
+        raise ValidationError("not enough rows to split for the adversarial audit")
+    perm = rng.permutation(n)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    y_train = protected[train_idx]
+    if np.unique(y_train).size < 2:
+        # The adversary cannot train; fall back to majority-class accuracy.
+        majority = float(np.round(protected[train_idx].mean()))
+        return float(np.mean(protected[test_idx] == majority))
+    adversary = LogisticRegression(l2=l2).fit(Z[train_idx], y_train)
+    predictions = adversary.predict(Z[test_idx])
+    return float(np.mean(predictions == protected[test_idx]))

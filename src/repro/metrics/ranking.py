@@ -1,0 +1,158 @@
+"""Ranking utility metrics: Kendall's tau, AP@k / MAP, NDCG@k.
+
+Kendall's tau uses the tau-b formulation (tie-corrected) computed with
+a merge-sort inversion count, O(n log n).  Average precision follows
+the convention used for the paper's MAP(AP@10): the "relevant" set is
+the true top-k of the ground-truth ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_vector
+
+
+def _merge_count(values: np.ndarray) -> int:
+    """Count inversions in ``values`` via iterative merge sort."""
+    n = values.size
+    arr = values.astype(np.float64, copy=True)
+    buf = np.empty_like(arr)
+    inversions = 0
+    width = 1
+    while width < n:
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            i, j, k = lo, mid, lo
+            while i < mid and j < hi:
+                if arr[i] <= arr[j]:
+                    buf[k] = arr[i]
+                    i += 1
+                else:
+                    buf[k] = arr[j]
+                    inversions += mid - i
+                    j += 1
+                k += 1
+            while i < mid:
+                buf[k] = arr[i]
+                i += 1
+                k += 1
+            while j < hi:
+                buf[k] = arr[j]
+                j += 1
+                k += 1
+        arr, buf = buf, arr
+        width *= 2
+    return inversions
+
+
+def _tie_pair_count(values: np.ndarray) -> int:
+    """Number of tied pairs, sum over groups of n_g choose 2."""
+    _, counts = np.unique(values, return_counts=True)
+    return int(np.sum(counts * (counts - 1) // 2))
+
+
+def kendall_tau(a, b) -> float:
+    """Tie-corrected Kendall's tau-b between two score vectors.
+
+    Returns a value in [-1, 1]; 1 for identical orderings, -1 for
+    exactly reversed orderings (absent ties).
+    """
+    a = check_vector(a, "a")
+    b = check_vector(b, "b", length=a.size)
+    n = a.size
+    if n < 2:
+        raise ValidationError("kendall_tau needs at least two items")
+    total = n * (n - 1) // 2
+    # Sort by a (breaking ties by b) and count discordant pairs as
+    # inversions in the b sequence.
+    order = np.lexsort((b, a))
+    b_sorted = b[order]
+    a_sorted = a[order]
+    discordant = _merge_count(b_sorted)
+    ties_a = _tie_pair_count(a)
+    ties_b = _tie_pair_count(b)
+    # Pairs tied in a AND b should not count as discordant; with the
+    # lexsort they appear in non-decreasing b order, contributing 0
+    # inversions, so no correction is needed there.  Pairs tied in a
+    # but not b also contribute 0 by the same argument.
+    ties_both = 0
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and a_sorted[j + 1] == a_sorted[i]:
+            j += 1
+        ties_both += _tie_pair_count(b_sorted[i : j + 1])
+        i = j + 1
+    concordant = total - discordant - ties_a - ties_b + ties_both
+    denom = np.sqrt(float(total - ties_a) * float(total - ties_b))
+    if denom == 0.0:
+        return 0.0
+    return float((concordant - discordant) / denom)
+
+
+def average_precision_at_k(true_ranking: Sequence[int], pred_ranking: Sequence[int], k: int = 10) -> float:
+    """AP@k of a predicted ranking against a ground-truth ranking.
+
+    Both arguments are orderings (sequences of item ids, best first).
+    The relevant set is the top-``k`` of ``true_ranking``; the score is
+    the usual average of precision@i at each hit within the predicted
+    top-``k``, normalised by ``min(k, |relevant|)``.
+    """
+    if k < 1:
+        raise ValidationError("k must be at least 1")
+    true_list = list(true_ranking)
+    pred_list = list(pred_ranking)
+    if not true_list or not pred_list:
+        raise ValidationError("rankings must not be empty")
+    relevant = set(true_list[:k])
+    hits = 0
+    precision_sum = 0.0
+    for i, item in enumerate(pred_list[:k], start=1):
+        if item in relevant:
+            hits += 1
+            precision_sum += hits / i
+    denom = min(k, len(relevant))
+    return float(precision_sum / denom)
+
+
+def mean_average_precision(
+    true_rankings: Sequence[Sequence[int]],
+    pred_rankings: Sequence[Sequence[int]],
+    k: int = 10,
+) -> float:
+    """Mean of AP@k over query pairs (the paper's MAP)."""
+    if len(true_rankings) != len(pred_rankings):
+        raise ValidationError("need the same number of true and predicted rankings")
+    if not true_rankings:
+        raise ValidationError("need at least one query")
+    scores = [
+        average_precision_at_k(t, p, k=k)
+        for t, p in zip(true_rankings, pred_rankings)
+    ]
+    return float(np.mean(scores))
+
+
+def ndcg_at_k(true_scores, pred_ranking: Sequence[int], k: int = 10) -> float:
+    """NDCG@k with linear gains, for supplementary ranking evaluation.
+
+    ``true_scores`` maps item id -> relevance via array indexing, and
+    ``pred_ranking`` is an ordering of item ids.
+    """
+    true_scores = check_vector(true_scores, "true_scores")
+    if k < 1:
+        raise ValidationError("k must be at least 1")
+    pred = list(pred_ranking)[:k]
+    if not pred:
+        raise ValidationError("pred_ranking must not be empty")
+    discounts = 1.0 / np.log2(np.arange(2, len(pred) + 2))
+    dcg = float(np.sum(true_scores[np.asarray(pred, dtype=np.intp)] * discounts))
+    ideal = np.sort(true_scores)[::-1][:k]
+    idcg = float(np.sum(ideal * (1.0 / np.log2(np.arange(2, ideal.size + 2)))))
+    if idcg == 0.0:
+        return 0.0
+    return dcg / idcg

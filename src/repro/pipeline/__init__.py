@@ -1,0 +1,21 @@
+"""End-to-end experiment pipeline.
+
+One module per paper artefact (table/figure) plus shared machinery:
+
+* :mod:`repro.pipeline.config` — experiment configuration presets,
+* :mod:`repro.pipeline.representations` — the unified representation
+  method framework used by both tasks,
+* :mod:`repro.pipeline.classification` — Figure 3 / Table III,
+* :mod:`repro.pipeline.ranking` — Table IV / Table V,
+* :mod:`repro.pipeline.obfuscation` — Figure 4,
+* :mod:`repro.pipeline.posthoc` — Figure 5,
+* :mod:`repro.pipeline.synthetic_study` — Figure 2,
+* :mod:`repro.pipeline.motivation` — Table I,
+* :mod:`repro.pipeline.datasets` — Table II,
+* :mod:`repro.pipeline.registry` — experiment id -> runner.
+"""
+
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentConfig", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,92 @@
+"""Experiment configuration.
+
+The paper's full protocol (grids of Section V-B at full dataset sizes)
+is expensive; :class:`ExperimentConfig` captures every knob with two
+presets:
+
+* :meth:`ExperimentConfig.fast` — reduced grids and dataset sizes that
+  keep each table/figure regeneration in the seconds-to-minutes range
+  (the default for tests and benchmarks);
+* :meth:`ExperimentConfig.paper` — the paper's grids
+  ({0, 0.05, 0.1, 1, 10, 100} mixtures, K in {10, 20, 30}, best of 3
+  restarts) at full dataset sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.tuning import MIXTURE_GRID, PROTOTYPE_GRID
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of the experiment pipeline.
+
+    Attributes
+    ----------
+    mixture_grid:
+        Candidate values for lambda/mu (iFair) and A_x/A_z (LFR).
+    prototype_grid:
+        Candidate prototype counts K (also used as SVD ranks).
+    n_restarts:
+        Optimisation restarts per candidate ("best of 3" in the paper).
+    max_iter:
+        L-BFGS iteration budget per restart.
+    max_pairs:
+        Cap on fairness-loss pairs (None = exact full sum).
+    consistency_k:
+        Neighbourhood size of yNN.
+    l2:
+        Regularisation of downstream logistic regression.
+    classification_records / ranking_queries / query_size:
+        Dataset scale used when the runner generates data itself.
+    compas_charge_levels:
+        Cardinality knob controlling COMPAS encoded width.
+    random_state:
+        Master seed for data generation, splits and optimisation.
+    """
+
+    mixture_grid: Tuple[float, ...] = (0.1, 1.0, 100.0)
+    prototype_grid: Tuple[int, ...] = (8,)
+    n_restarts: int = 1
+    max_iter: int = 60
+    max_pairs: Optional[int] = 2500
+    consistency_k: int = 10
+    l2: float = 1.0
+    classification_records: int = 450
+    ranking_queries: int = 12
+    query_size: int = 25
+    compas_charge_levels: int = 30
+    random_state: int = 7
+
+    def __post_init__(self):
+        if not self.mixture_grid or not self.prototype_grid:
+            raise ValidationError("grids must not be empty")
+        if self.n_restarts < 1 or self.max_iter < 1:
+            raise ValidationError("n_restarts and max_iter must be positive")
+        if self.consistency_k < 1:
+            raise ValidationError("consistency_k must be positive")
+
+    @classmethod
+    def fast(cls, random_state: int = 7) -> "ExperimentConfig":
+        """Reduced preset for tests and benchmark regeneration."""
+        return cls(random_state=random_state)
+
+    @classmethod
+    def paper(cls, random_state: int = 7) -> "ExperimentConfig":
+        """The paper's full protocol (hours of compute)."""
+        return cls(
+            mixture_grid=MIXTURE_GRID,
+            prototype_grid=PROTOTYPE_GRID,
+            n_restarts=3,
+            max_iter=200,
+            max_pairs=None,
+            classification_records=6901,
+            ranking_queries=57,
+            query_size=40,
+            compas_charge_levels=397,
+            random_state=random_state,
+        )

@@ -1,0 +1,114 @@
+"""Dataset statistics (Table II).
+
+Regenerates the experimental-settings table from the synthetic
+generators: record count N, encoded dimensionality M, base rates for
+the protected and unprotected groups (classification datasets), the
+outcome variable and the protected attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.data import DATASET_GENERATORS
+from repro.data.schema import TabularDataset
+from repro.exceptions import ValidationError
+from repro.utils.tables import render_table
+
+_OUTCOMES = {
+    "compas": ("recidivism", "race"),
+    "census": ("income", "gender"),
+    "credit": ("loan default", "age"),
+    "airbnb": ("rating/price", "gender"),
+    "xing": ("work + education", "gender"),
+}
+
+
+@dataclass
+class DatasetStats:
+    """One Table II row."""
+
+    name: str
+    base_rate_protected: Optional[float]
+    base_rate_unprotected: Optional[float]
+    n_records: int
+    n_encoded: int
+    outcome: str
+    protected: str
+
+
+@dataclass
+class DatasetsReport:
+    """All Table II rows."""
+
+    rows: List[DatasetStats] = field(default_factory=list)
+
+    def table2(self) -> str:
+        headers = [
+            "Dataset",
+            "Base-rate prot.",
+            "Base-rate unprot.",
+            "N",
+            "M",
+            "Outcome",
+            "Protected",
+        ]
+        table_rows = [
+            [
+                r.name,
+                "-" if r.base_rate_protected is None else r.base_rate_protected,
+                "-" if r.base_rate_unprotected is None else r.base_rate_unprotected,
+                r.n_records,
+                r.n_encoded,
+                r.outcome,
+                r.protected,
+            ]
+            for r in self.rows
+        ]
+        return render_table(headers, table_rows, title="Table II — dataset statistics")
+
+
+def dataset_stats(dataset: TabularDataset) -> DatasetStats:
+    """Compute one dataset's Table II row."""
+    if dataset.name not in _OUTCOMES:
+        raise ValidationError(f"unknown dataset {dataset.name!r}")
+    outcome, protected = _OUTCOMES[dataset.name]
+    if dataset.task == "classification":
+        rate_p = dataset.base_rate(1)
+        rate_u = dataset.base_rate(0)
+    else:
+        rate_p = rate_u = None
+    return DatasetStats(
+        name=dataset.name,
+        base_rate_protected=rate_p,
+        base_rate_unprotected=rate_u,
+        n_records=dataset.n_records,
+        n_encoded=dataset.n_features,
+        outcome=outcome,
+        protected=protected,
+    )
+
+
+def run_dataset_statistics(
+    *,
+    full_scale: bool = False,
+    random_state: int = 7,
+) -> DatasetsReport:
+    """Generate every dataset and collect its Table II row.
+
+    ``full_scale`` uses the paper's record counts; otherwise a reduced
+    scale keeps generation fast while preserving schema widths.
+    """
+    sizes = {
+        "compas": {} if full_scale else {"n_records": 800},
+        "census": {} if full_scale else {"n_records": 800},
+        "credit": {} if full_scale else {"n_records": 600},
+        "airbnb": {} if full_scale else {"n_records": 900},
+        "xing": {} if full_scale else {"n_queries": 12, "candidates_per_query": 30},
+    }
+    report = DatasetsReport()
+    for name, generator in DATASET_GENERATORS.items():
+        dataset = generator(random_state=random_state, **sizes[name])
+        report.rows.append(dataset_stats(dataset))
+    return report

@@ -1,0 +1,140 @@
+"""Information-obfuscation study (Figure 4).
+
+For each dataset, train an adversarial logistic regression to predict
+protected-group membership from three representations:
+
+* Masked Data (protected columns zeroed),
+* LFR (classification datasets only — LFR needs labels),
+* iFair-b.
+
+The paper's finding to reproduce: masking leaves adversarial accuracy
+high (proxies leak), while iFair pushes it toward the 0.5 floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.schema import TabularDataset
+from repro.exceptions import ValidationError
+from repro.learners.scaler import StandardScaler
+from repro.metrics.obfuscation import adversarial_accuracy
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.representations import FitContext, make_method
+from repro.utils.tables import render_table
+
+
+@dataclass
+class ObfuscationRow:
+    """Adversarial accuracies for one dataset."""
+
+    dataset: str
+    masked: float
+    lfr: Optional[float]
+    ifair: float
+
+
+@dataclass
+class ObfuscationReport:
+    """Figure 4 data across datasets."""
+
+    rows: List[ObfuscationRow] = field(default_factory=list)
+
+    def figure4(self) -> str:
+        headers = ["Dataset", "Masked Data", "LFR", "iFair-b"]
+        table_rows = [
+            [
+                row.dataset,
+                row.masked,
+                "n/a" if row.lfr is None else row.lfr,
+                row.ifair,
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            headers,
+            table_rows,
+            title="Figure 4 — adversarial accuracy (lower is better)",
+        )
+
+
+def run_obfuscation(
+    dataset: TabularDataset,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    ifair_params: Optional[Dict] = None,
+    lfr_params: Optional[Dict] = None,
+) -> ObfuscationRow:
+    """Audit one dataset's representations for protected-info leakage."""
+    config = config or ExperimentConfig.fast()
+    scaler = StandardScaler().fit(dataset.X)
+    X = scaler.transform(dataset.X)
+    is_classification = dataset.task == "classification"
+    context = FitContext(
+        X_train=X,
+        protected_indices=dataset.protected_indices,
+        y_train=dataset.y if is_classification else None,
+        protected_group_train=dataset.protected if is_classification else None,
+        random_state=config.random_state,
+    )
+
+    masked = make_method("Masked Data", {}).fit(context)
+    acc_masked = adversarial_accuracy(
+        masked.transform(X), dataset.protected, random_state=config.random_state
+    )
+
+    acc_lfr: Optional[float] = None
+    if is_classification:
+        lfr = make_method(
+            "LFR",
+            lfr_params
+            or {
+                "n_prototypes": config.prototype_grid[0],
+                "a_x": 0.01,
+                "a_z": 1.0,
+                "max_iter": config.max_iter,
+                "n_restarts": config.n_restarts,
+            },
+        ).fit(context)
+        acc_lfr = adversarial_accuracy(
+            lfr.transform(X), dataset.protected, random_state=config.random_state
+        )
+
+    ifair = make_method(
+        "iFair-b",
+        ifair_params
+        or {
+            # Low-rank compression is what obfuscates; moderate mu keeps
+            # individual fairness without perfectly preserving (and thus
+            # leaking) all proxy structure.
+            "n_prototypes": min(config.prototype_grid),
+            "lambda_util": 1.0,
+            "mu_fair": 1.0,
+            "max_iter": config.max_iter,
+            "n_restarts": config.n_restarts,
+            "max_pairs": config.max_pairs,
+        },
+    ).fit(context)
+    acc_ifair = adversarial_accuracy(
+        ifair.transform(X), dataset.protected, random_state=config.random_state
+    )
+
+    return ObfuscationRow(
+        dataset=dataset.name, masked=acc_masked, lfr=acc_lfr, ifair=acc_ifair
+    )
+
+
+def run_obfuscation_study(
+    datasets: List[TabularDataset],
+    config: Optional[ExperimentConfig] = None,
+) -> ObfuscationReport:
+    """Figure 4 across a collection of datasets."""
+    if not datasets:
+        raise ValidationError("need at least one dataset")
+    report = ObfuscationReport()
+    for dataset in datasets:
+        report.rows.append(run_obfuscation(dataset, config))
+    return report

@@ -1,0 +1,141 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each runner takes an :class:`~repro.pipeline.config.ExperimentConfig`
+and returns a report object exposing a render method; ``run_experiment``
+returns the rendered text, which is what the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.data.airbnb import generate_airbnb
+from repro.data.compas import generate_compas
+from repro.data.census import generate_census
+from repro.data.credit import generate_credit
+from repro.data.xing import generate_xing
+from repro.exceptions import ValidationError
+from repro.pipeline.classification import run_classification
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.datasets import run_dataset_statistics
+from repro.pipeline.motivation import run_motivation
+from repro.pipeline.obfuscation import run_obfuscation_study
+from repro.pipeline.posthoc import run_posthoc
+from repro.pipeline.ranking import run_ranking, run_weight_sensitivity, table4
+from repro.pipeline.synthetic_study import run_synthetic_study
+
+
+def _classification_datasets(config: ExperimentConfig):
+    n = config.classification_records
+    return [
+        generate_compas(
+            n, charge_levels=config.compas_charge_levels, random_state=config.random_state
+        ),
+        generate_census(n, random_state=config.random_state),
+        generate_credit(min(n, 1000), random_state=config.random_state),
+    ]
+
+
+def _ranking_datasets(config: ExperimentConfig):
+    xing = generate_xing(
+        n_queries=config.ranking_queries,
+        candidates_per_query=config.query_size,
+        random_state=config.random_state,
+    )
+    airbnb = generate_airbnb(
+        n_records=max(600, config.ranking_queries * config.query_size * 2),
+        random_state=config.random_state,
+    )
+    return xing, airbnb
+
+
+def _run_table1(config: ExperimentConfig) -> str:
+    return run_motivation(config).table1()
+
+
+def _run_table2(config: ExperimentConfig) -> str:
+    full = config.classification_records >= 6901
+    return run_dataset_statistics(
+        full_scale=full, random_state=config.random_state
+    ).table2()
+
+
+def _run_fig2(config: ExperimentConfig) -> str:
+    return run_synthetic_study(config).figure2()
+
+
+def _run_fig3(config: ExperimentConfig) -> str:
+    blocks = []
+    for dataset in _classification_datasets(config):
+        blocks.append(run_classification(dataset, config).figure3())
+    return "\n\n".join(blocks)
+
+
+def _run_table3(config: ExperimentConfig) -> str:
+    blocks = []
+    for dataset in _classification_datasets(config):
+        blocks.append(run_classification(dataset, config).table3())
+    return "\n\n".join(blocks)
+
+
+def _run_table4(config: ExperimentConfig) -> str:
+    xing, _ = _ranking_datasets(config)
+    grid = [
+        (0.0, 0.5, 1.0),
+        (0.25, 0.75, 0.0),
+        (0.5, 1.0, 0.25),
+        (0.75, 0.0, 0.5),
+        (0.75, 0.25, 0.0),
+        (1.0, 0.25, 0.75),
+        (1.0, 1.0, 1.0),
+    ]
+    rows = run_weight_sensitivity(xing, grid, config)
+    return table4(rows)
+
+
+def _run_table5(config: ExperimentConfig) -> str:
+    xing, airbnb = _ranking_datasets(config)
+    blocks = [
+        run_ranking(xing, config, fair_ps=(0.5, 0.9), min_query_size=5).table5(),
+        run_ranking(airbnb, config, fair_ps=(0.5, 0.6), min_query_size=10).table5(),
+    ]
+    return "\n\n".join(blocks)
+
+
+def _run_fig4(config: ExperimentConfig) -> str:
+    xing, airbnb = _ranking_datasets(config)
+    datasets = _classification_datasets(config) + [xing, airbnb]
+    return run_obfuscation_study(datasets, config).figure4()
+
+
+def _run_fig5(config: ExperimentConfig) -> str:
+    xing, airbnb = _ranking_datasets(config)
+    blocks = [
+        run_posthoc(xing, config, min_query_size=5).figure5(),
+        run_posthoc(airbnb, config, min_query_size=10).figure5(),
+    ]
+    return "\n\n".join(blocks)
+
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], str]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "table5": _run_table5,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+}
+
+
+def run_experiment(
+    experiment_id: str, config: Optional[ExperimentConfig] = None
+) -> str:
+    """Run one registered experiment and return its rendered report."""
+    if experiment_id not in EXPERIMENTS:
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](config or ExperimentConfig.fast())

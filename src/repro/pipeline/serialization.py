@@ -1,0 +1,210 @@
+"""Machine-readable serialisation of experiment reports.
+
+The pipeline's report objects render ASCII tables for the harness;
+this module turns the same results into plain dicts (JSON-safe) and CSV
+text so downstream tooling (dashboards, regression tracking across
+reproduction runs) can consume them.
+
+Supported report types: classification (Table III / Figure 3), ranking
+(Table V), weight sensitivity (Table IV), obfuscation (Figure 4),
+post-hoc (Figure 5), synthetic study (Figure 2), dataset statistics
+(Table II).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+from typing import Dict, List, Sequence
+
+from repro.exceptions import ValidationError
+from repro.pipeline.classification import ClassificationReport
+from repro.pipeline.datasets import DatasetsReport
+from repro.pipeline.obfuscation import ObfuscationReport
+from repro.pipeline.posthoc import PosthocReport
+from repro.pipeline.ranking import RankingReport, WeightSensitivityRow
+from repro.pipeline.synthetic_study import SyntheticReport
+
+
+def _clean(value):
+    """JSON-safe scalar: NaN/inf become None."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def classification_to_dict(report: ClassificationReport) -> Dict:
+    """All candidates with validation and test metrics."""
+    return {
+        "experiment": "classification",
+        "dataset": report.dataset,
+        "candidates": [
+            {
+                "method": c.method,
+                "params": c.params,
+                "val_auc": _clean(c.val_auc),
+                "val_consistency": _clean(c.val_consistency),
+                "test": {
+                    "accuracy": _clean(c.test.accuracy),
+                    "auc": _clean(c.test.auc),
+                    "eq_opp": _clean(c.test.eq_opp),
+                    "parity": _clean(c.test.parity),
+                    "consistency": _clean(c.test.consistency),
+                },
+            }
+            for c in report.candidates
+        ],
+    }
+
+
+def ranking_to_dict(report: RankingReport) -> Dict:
+    return {
+        "experiment": "ranking",
+        "dataset": report.dataset,
+        "n_queries": report.n_queries,
+        "rows": [
+            {
+                "method": r.method,
+                "params": r.params,
+                "map": _clean(r.map_score),
+                "kendall": _clean(r.kendall),
+                "consistency": _clean(r.consistency),
+                "protected_share": _clean(r.protected_share),
+            }
+            for r in report.rows
+        ],
+    }
+
+
+def weight_sensitivity_to_dict(rows: Sequence[WeightSensitivityRow]) -> Dict:
+    return {
+        "experiment": "weight_sensitivity",
+        "rows": [
+            {
+                "weights": list(r.weights),
+                "base_rate_protected": _clean(r.base_rate_protected),
+                "map": _clean(r.map_score),
+                "kendall": _clean(r.kendall),
+                "consistency": _clean(r.consistency),
+                "protected_share": _clean(r.protected_share),
+            }
+            for r in rows
+        ],
+    }
+
+
+def obfuscation_to_dict(report: ObfuscationReport) -> Dict:
+    return {
+        "experiment": "obfuscation",
+        "rows": [
+            {
+                "dataset": r.dataset,
+                "masked": _clean(r.masked),
+                "lfr": _clean(r.lfr) if r.lfr is not None else None,
+                "ifair": _clean(r.ifair),
+            }
+            for r in report.rows
+        ],
+    }
+
+
+def posthoc_to_dict(report: PosthocReport) -> Dict:
+    return {
+        "experiment": "posthoc",
+        "dataset": report.dataset,
+        "points": [
+            {
+                "p": pt.p,
+                "map": _clean(pt.map_score),
+                "protected_share": _clean(pt.protected_share),
+                "consistency": _clean(pt.consistency),
+            }
+            for pt in report.points
+        ],
+    }
+
+
+def synthetic_to_dict(report: SyntheticReport) -> Dict:
+    return {
+        "experiment": "synthetic_study",
+        "cells": [
+            {
+                "variant": c.variant,
+                "method": c.method,
+                "accuracy": _clean(c.accuracy),
+                "consistency": _clean(c.consistency),
+                "parity": _clean(c.parity),
+                "eq_opp": _clean(c.eq_opp),
+            }
+            for c in report.cells
+        ],
+    }
+
+
+def datasets_to_dict(report: DatasetsReport) -> Dict:
+    return {
+        "experiment": "dataset_statistics",
+        "rows": [
+            {
+                "dataset": r.name,
+                "base_rate_protected": _clean(r.base_rate_protected),
+                "base_rate_unprotected": _clean(r.base_rate_unprotected),
+                "n_records": r.n_records,
+                "n_encoded": r.n_encoded,
+                "outcome": r.outcome,
+                "protected": r.protected,
+            }
+            for r in report.rows
+        ],
+    }
+
+
+_SERIALIZERS = {
+    ClassificationReport: classification_to_dict,
+    RankingReport: ranking_to_dict,
+    ObfuscationReport: obfuscation_to_dict,
+    PosthocReport: posthoc_to_dict,
+    SyntheticReport: synthetic_to_dict,
+    DatasetsReport: datasets_to_dict,
+}
+
+
+def report_to_dict(report) -> Dict:
+    """Dispatch any known report object to its dict form."""
+    serializer = _SERIALIZERS.get(type(report))
+    if serializer is None:
+        raise ValidationError(
+            f"no serializer for report type {type(report).__name__}"
+        )
+    return serializer(report)
+
+
+def report_to_json(report, *, indent: int = 2) -> str:
+    """JSON text for any known report object."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+def rows_to_csv(rows: Sequence[Dict]) -> str:
+    """Flat dict rows -> CSV text (header from the union of keys)."""
+    if not rows:
+        raise ValidationError("rows must not be empty")
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    out = io.StringIO()
+    out.write(",".join(columns) + "\n")
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if value is None:
+                value = ""
+            text = str(value)
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            cells.append(text)
+        out.write(",".join(cells) + "\n")
+    return out.getvalue()

@@ -1,0 +1,180 @@
+"""The Section IV synthetic-property study (Figure 2).
+
+For each of the three protected-assignment variants (random, X1<=3,
+X2<=3), learn iFair and LFR representations (hyper-parameters grid-
+searched for the classifier's individual fairness, as in the paper),
+train a logistic regression on each representation, and report
+Acc / yNN / Parity / EqOpp.
+
+Expected shape (the paper's "main findings"): iFair beats LFR on
+accuracy, consistency and EqOpp; LFR wins on statistical parity; and
+iFair representations barely move across the three variants while LFR's
+shift visibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.schema import TabularDataset
+from repro.data.synthetic import SyntheticVariant, generate_synthetic
+from repro.exceptions import ValidationError
+from repro.learners.logistic import LogisticRegression
+from repro.metrics.classification import accuracy
+from repro.metrics.group import equal_opportunity, statistical_parity
+from repro.metrics.individual import consistency
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.representations import FitContext, make_method, method_candidates
+from repro.utils.tables import render_table
+
+
+@dataclass
+class SyntheticCell:
+    """One Figure 2 subplot: a method's metrics on one variant."""
+
+    variant: str
+    method: str
+    accuracy: float
+    consistency: float
+    parity: float
+    eq_opp: float
+    representation: np.ndarray = field(repr=False, default=None)
+
+
+@dataclass
+class SyntheticReport:
+    """All six learned-representation cells of Figure 2."""
+
+    cells: List[SyntheticCell] = field(default_factory=list)
+
+    def cell(self, variant: str, method: str) -> SyntheticCell:
+        for cell in self.cells:
+            if cell.variant == variant and cell.method == method:
+                return cell
+        raise ValidationError(f"no cell for ({variant!r}, {method!r})")
+
+    def figure2(self) -> str:
+        headers = ["Variant", "Method", "Acc", "yNN", "Parity", "EqOpp"]
+        rows = [
+            [c.variant, c.method, c.accuracy, c.consistency, c.parity, c.eq_opp]
+            for c in self.cells
+        ]
+        return render_table(headers, rows, title="Figure 2 — synthetic study")
+
+
+def _score_representation(
+    dataset: TabularDataset, Z: np.ndarray, k: int
+) -> Tuple[float, float, float, float]:
+    """Train a classifier on Z and compute the four reported metrics."""
+    clf = LogisticRegression(l2=0.1).fit(Z, dataset.y)
+    pred = clf.predict(Z)
+    acc = accuracy(dataset.y, pred)
+    ynn = consistency(dataset.X_nonprotected, pred, k=k)
+    try:
+        parity = statistical_parity(pred, dataset.protected)
+    except ValidationError:
+        parity = float("nan")
+    try:
+        eq = equal_opportunity(dataset.y, pred, dataset.protected)
+    except ValidationError:
+        eq = float("nan")
+    return acc, ynn, parity, eq
+
+
+def run_synthetic_study(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    n_records: int = 100,
+) -> SyntheticReport:
+    """Run the Figure 2 study over all variants and both methods.
+
+    Hyper-parameters are chosen per (variant, method) by the best
+    consistency yNN of the resulting classifier — the paper tunes "for
+    optimal individual fairness of the classifier".
+    """
+    config = config or ExperimentConfig.fast()
+    report = SyntheticReport()
+    # Hyper-parameters are tuned once, on the first (random) variant,
+    # and reused for the others.  The three variants share X1, X2 and Y
+    # and differ only in group membership, so holding the grid point
+    # fixed isolates the effect of the protected attribute — the
+    # controlled comparison behind the paper's "representations remain
+    # largely unaffected" observation.
+    chosen_params: Dict[str, Dict] = {}
+    for variant in SyntheticVariant:
+        dataset = generate_synthetic(
+            variant, n_records, random_state=config.random_state
+        )
+        k = min(config.consistency_k, n_records - 1)
+        context = FitContext(
+            X_train=dataset.X,
+            protected_indices=dataset.protected_indices,
+            y_train=dataset.y,
+            protected_group_train=dataset.protected,
+            random_state=config.random_state,
+        )
+        for method_name in ("iFair-b", "LFR"):
+            if method_name in chosen_params:
+                candidates = [chosen_params[method_name]]
+            else:
+                candidates = []
+                for params in method_candidates(method_name, config):
+                    # Figure 2 uses a 2-prototype latent space so the
+                    # representation is visualisable.
+                    params = dict(params)
+                    params["n_prototypes"] = 2
+                    candidates.append(params)
+            best: Optional[SyntheticCell] = None
+            best_params: Optional[Dict] = None
+            for params in candidates:
+                method = make_method(method_name, params)
+                method.fit(context)
+                Z = method.transform(dataset.X)
+                acc, ynn, parity, eq = _score_representation(dataset, Z, k)
+                cell = SyntheticCell(
+                    variant=variant.value,
+                    method=method_name,
+                    accuracy=acc,
+                    consistency=ynn,
+                    parity=parity,
+                    eq_opp=eq,
+                    representation=Z,
+                )
+                # Primary criterion: individual fairness (the paper's
+                # tuning target); accuracy breaks near-ties so the
+                # selection does not wander to degenerate collapses.
+                score = cell.consistency + 0.1 * cell.accuracy
+                if best is None or score > best.consistency + 0.1 * best.accuracy:
+                    best, best_params = cell, params
+            chosen_params.setdefault(method_name, best_params)
+            report.cells.append(best)
+    return report
+
+
+def representation_shift(report: SyntheticReport, method: str) -> float:
+    """Mean displacement of a method's representation across variants.
+
+    Because all variants share X1, X2 and Y (only group membership
+    changes), a representation insensitive to the protected attribute
+    should barely move.  Returns the average pairwise mean-squared
+    displacement between the method's representations across variants —
+    the quantitative version of the paper's "remains largely
+    unaffected" observation.  Only the non-protected dimensions (X1,
+    X2) are compared: the reconstruction of the protected column itself
+    necessarily differs between variants.
+    """
+    reps = [
+        cell.representation[:, :2]
+        for cell in report.cells
+        if cell.method == method
+    ]
+    if len(reps) < 2:
+        raise ValidationError(f"need representations from >= 2 variants for {method!r}")
+    shifts = []
+    for i in range(len(reps)):
+        for j in range(i + 1, len(reps)):
+            shifts.append(float(np.mean((reps[i] - reps[j]) ** 2)))
+    return float(np.mean(shifts))

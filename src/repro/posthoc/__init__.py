@@ -1,0 +1,17 @@
+"""Post-hoc group-fairness enforcement.
+
+The paper's conclusion: "Hard group-fairness constraints, based on
+legal requirements, can be enforced post-hoc by adjusting the outputs
+of iFair-based classifiers or rankings."  This subpackage implements
+both halves:
+
+* :class:`~repro.posthoc.thresholds.GroupThresholdAdjuster` — per-group
+  decision thresholds that equalise acceptance rates (statistical
+  parity) or true-positive rates (equal opportunity) of a classifier;
+* the ranking half is :class:`repro.baselines.fair_ranking.FairRanker`
+  applied to iFair scores (see :mod:`repro.pipeline.posthoc`).
+"""
+
+from repro.posthoc.thresholds import GroupThresholdAdjuster
+
+__all__ = ["GroupThresholdAdjuster"]

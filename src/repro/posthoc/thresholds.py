@@ -1,0 +1,123 @@
+"""Per-group threshold adjustment for classifier outputs.
+
+Given calibration scores, group membership, and (for equal opportunity)
+ground-truth labels, the adjuster picks one decision threshold per
+group so that a chosen group-fairness criterion holds on the
+calibration set:
+
+* ``criterion='parity'`` — equal acceptance rates: each group's
+  threshold is its own (1 - target_rate) score quantile, so every
+  group accepts the same fraction;
+* ``criterion='equal_opportunity'`` — equal true-positive rates: the
+  threshold is the per-group (1 - target_rate) quantile *among
+  positives*, equalising TPR across groups.
+
+The target rate defaults to the overall rate the unadjusted 0.5
+threshold would produce, so adjustment redistributes decisions rather
+than changing their total volume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_binary_labels, check_vector
+
+_CRITERIA = ("parity", "equal_opportunity")
+
+
+class GroupThresholdAdjuster:
+    """Learn per-group thresholds enforcing a group-fairness criterion.
+
+    Parameters
+    ----------
+    criterion:
+        ``'parity'`` or ``'equal_opportunity'``.
+    target_rate:
+        The acceptance rate (parity) or true-positive rate (equal
+        opportunity) every group should hit.  ``None`` derives it from
+        the unadjusted classifier at threshold 0.5 on the calibration
+        data.
+    """
+
+    def __init__(self, criterion: str = "parity", target_rate: Optional[float] = None):
+        if criterion not in _CRITERIA:
+            raise ValidationError(f"criterion must be one of {_CRITERIA}")
+        if target_rate is not None and not 0.0 < target_rate < 1.0:
+            raise ValidationError("target_rate must lie in (0, 1)")
+        self.criterion = criterion
+        self.target_rate = target_rate
+        self.thresholds_: Dict[float, float] = {}
+
+    def fit(self, scores, groups, y_true=None) -> "GroupThresholdAdjuster":
+        """Calibrate per-group thresholds.
+
+        Parameters
+        ----------
+        scores:
+            Classifier scores/probabilities on calibration records.
+        groups:
+            0/1 group membership per record.
+        y_true:
+            Ground-truth labels — required for equal opportunity,
+            ignored for parity.
+        """
+        scores = check_vector(scores, "scores")
+        groups = check_binary_labels(groups, "groups", length=scores.size)
+        if self.criterion == "equal_opportunity":
+            if y_true is None:
+                raise ValidationError(
+                    "equal_opportunity calibration requires ground-truth labels"
+                )
+            y_true = check_binary_labels(y_true, "y_true", length=scores.size)
+
+        rate = self.target_rate
+        if rate is None:
+            if self.criterion == "parity":
+                rate = float(np.mean(scores >= 0.5))
+            else:
+                positives = scores[y_true == 1]
+                if positives.size == 0:
+                    raise ValidationError("no positive samples to calibrate on")
+                rate = float(np.mean(positives >= 0.5))
+            rate = float(np.clip(rate, 1e-6, 1 - 1e-6))
+
+        self.thresholds_ = {}
+        for group in (0.0, 1.0):
+            mask = groups == group
+            if not np.any(mask):
+                raise ValidationError(f"group {group} absent from calibration data")
+            if self.criterion == "parity":
+                pool = scores[mask]
+            else:
+                pool = scores[mask & (y_true == 1)]
+                if pool.size == 0:
+                    raise ValidationError(
+                        f"group {group} has no positive samples for equal opportunity"
+                    )
+            self.thresholds_[group] = float(np.quantile(pool, 1.0 - rate))
+        return self
+
+    def predict(self, scores, groups) -> np.ndarray:
+        """Apply the calibrated per-group thresholds to new scores."""
+        if not self.thresholds_:
+            raise NotFittedError("GroupThresholdAdjuster must be fitted first")
+        scores = check_vector(scores, "scores")
+        groups = check_binary_labels(groups, "groups", length=scores.size)
+        out = np.zeros(scores.size)
+        for group, threshold in self.thresholds_.items():
+            mask = groups == group
+            out[mask] = (scores[mask] > threshold).astype(np.float64)
+        return out
+
+    def acceptance_rates(self, scores, groups) -> Dict[float, float]:
+        """Post-adjustment acceptance rate per group (diagnostics)."""
+        predictions = self.predict(scores, groups)
+        groups = check_binary_labels(groups, "groups")
+        return {
+            group: float(predictions[groups == group].mean())
+            for group in (0.0, 1.0)
+        }

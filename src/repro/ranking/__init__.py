@@ -1,0 +1,22 @@
+"""Learning-to-rank substrate: query construction and per-query evaluation."""
+
+from repro.ranking.query import Query, build_queries
+from repro.ranking.engine import QueryEvaluation, RankingEvaluation, evaluate_scores
+from repro.ranking.exposure import (
+    exposure_ratio,
+    group_exposure,
+    individual_exposure_gap,
+    position_exposure,
+)
+
+__all__ = [
+    "Query",
+    "build_queries",
+    "QueryEvaluation",
+    "RankingEvaluation",
+    "evaluate_scores",
+    "exposure_ratio",
+    "group_exposure",
+    "individual_exposure_gap",
+    "position_exposure",
+]

@@ -1,0 +1,68 @@
+"""Query construction for the learning-to-rank experiments.
+
+A query is a subset of dataset records competing for the same ranked
+list (a job search on Xing, a city/neighbourhood/home-type filter on
+Airbnb).  The paper filters Airbnb queries to those with at least 10
+listings, leaving 43; :func:`build_queries` implements the same
+size filter and an optional cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.schema import TabularDataset
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query: an id and the dataset row indices of its candidates."""
+
+    qid: int
+    indices: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.indices.size
+
+
+def build_queries(
+    dataset: TabularDataset,
+    *,
+    min_size: int = 10,
+    max_queries: Optional[int] = None,
+) -> List[Query]:
+    """Group dataset rows into queries via ``dataset.query_ids``.
+
+    Parameters
+    ----------
+    dataset:
+        A ranking dataset carrying per-record query ids.
+    min_size:
+        Drop queries with fewer candidates (paper: 10 for Airbnb).
+    max_queries:
+        Keep only the first N queries (by ascending id) — used to match
+        the paper's query counts deterministically.
+    """
+    if dataset.query_ids is None:
+        raise ValidationError(f"dataset {dataset.name!r} has no query ids")
+    if min_size < 2:
+        raise ValidationError("min_size must be at least 2")
+    queries: List[Query] = []
+    for qid in np.unique(dataset.query_ids):
+        idx = np.flatnonzero(dataset.query_ids == qid)
+        if idx.size >= min_size:
+            queries.append(Query(qid=int(qid), indices=idx))
+    if max_queries is not None:
+        if max_queries < 1:
+            raise ValidationError("max_queries must be positive")
+        queries = queries[:max_queries]
+    if not queries:
+        raise ValidationError(
+            f"no queries with at least {min_size} candidates in {dataset.name!r}"
+        )
+    return queries

@@ -1,0 +1,30 @@
+"""Shared low-level utilities: RNG handling, validation, math kernels."""
+
+from repro.utils.rng import check_random_state, spawn_seeds
+from repro.utils.validation import (
+    check_binary_labels,
+    check_matrix,
+    check_protected_indices,
+    check_vector,
+)
+from repro.utils.mathkit import (
+    log_sum_exp,
+    pairwise_sq_euclidean,
+    sigmoid,
+    softmax,
+    weighted_minkowski_to_prototypes,
+)
+
+__all__ = [
+    "check_random_state",
+    "spawn_seeds",
+    "check_binary_labels",
+    "check_matrix",
+    "check_protected_indices",
+    "check_vector",
+    "log_sum_exp",
+    "pairwise_sq_euclidean",
+    "sigmoid",
+    "softmax",
+    "weighted_minkowski_to_prototypes",
+]

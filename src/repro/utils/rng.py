@@ -1,0 +1,52 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``random_state``
+argument that may be ``None``, an integer seed, or a fully constructed
+:class:`numpy.random.Generator`.  :func:`check_random_state` normalises
+all three into a ``Generator`` so downstream code never has to branch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+RandomStateLike = Union[None, int, np.random.Generator]
+
+
+def check_random_state(random_state: RandomStateLike = None) -> np.random.Generator:
+    """Normalise ``random_state`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for a fresh nondeterministic generator, an ``int`` seed
+        for a deterministic one, or an existing ``Generator`` which is
+        returned unchanged.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        if random_state < 0:
+            raise ValidationError("random_state seed must be non-negative")
+        return np.random.default_rng(int(random_state))
+    raise ValidationError(
+        f"random_state must be None, int or numpy Generator, got {type(random_state)!r}"
+    )
+
+
+def spawn_seeds(random_state: RandomStateLike, count: int) -> list:
+    """Derive ``count`` independent child seeds from ``random_state``.
+
+    Used by multi-restart optimisers so each restart is reproducible on
+    its own while the whole ensemble is reproducible from one seed.
+    """
+    if count < 0:
+        raise ValidationError("count must be non-negative")
+    rng = check_random_state(random_state)
+    return [int(seed) for seed in rng.integers(0, 2**31 - 1, size=count)]

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark targets print rows that mirror the paper's tables; this
+module renders aligned ASCII tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """Render a single cell: floats to fixed precision, rest via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 2,
+) -> None:
+    """Print :func:`render_table` output followed by a blank line."""
+    print(render_table(headers, rows, title=title, precision=precision))
+    print()

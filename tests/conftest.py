@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Everything is deliberately tiny: the goal is correctness of code paths
+and invariants, not statistical power.  Benchmark-scale runs live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.compas import generate_compas
+from repro.data.credit import generate_credit
+from repro.data.xing import generate_xing
+from repro.pipeline.config import ExperimentConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrix(rng):
+    """A well-conditioned 20 x 6 data matrix."""
+    return rng.normal(size=(20, 6))
+
+
+@pytest.fixture
+def tiny_labels(rng):
+    return (rng.random(20) > 0.5).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
+def tiny_compas():
+    """A COMPAS dataset small enough for per-test model fits."""
+    return generate_compas(150, charge_levels=8, random_state=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_credit():
+    return generate_credit(150, random_state=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_xing():
+    return generate_xing(n_queries=4, candidates_per_query=15, random_state=3)
+
+
+@pytest.fixture
+def fast_config():
+    """A config that keeps any pipeline test under a few seconds."""
+    return ExperimentConfig(
+        mixture_grid=(0.1, 1.0),
+        prototype_grid=(4,),
+        n_restarts=1,
+        max_iter=25,
+        max_pairs=800,
+        classification_records=150,
+        ranking_queries=4,
+        query_size=15,
+        compas_charge_levels=8,
+        random_state=3,
+    )

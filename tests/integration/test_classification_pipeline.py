@@ -1,0 +1,86 @@
+"""Integration tests: the classification experiment pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import TuningCriterion
+from repro.exceptions import ValidationError
+from repro.pipeline.classification import run_classification
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    from repro.data.credit import generate_credit
+    from repro.pipeline.config import ExperimentConfig
+
+    config = ExperimentConfig(
+        mixture_grid=(0.1, 1.0),
+        prototype_grid=(4,),
+        n_restarts=1,
+        max_iter=25,
+        max_pairs=600,
+        random_state=3,
+    )
+    dataset = generate_credit(180, random_state=3)
+    return run_classification(dataset, config)
+
+
+class TestClassificationPipeline:
+    def test_all_methods_present(self, report):
+        methods = {c.method for c in report.candidates}
+        assert methods == {
+            "Full Data",
+            "Masked Data",
+            "SVD",
+            "SVD-masked",
+            "LFR",
+            "iFair-a",
+            "iFair-b",
+        }
+
+    def test_grid_sizes(self, report):
+        # iFair grid: 2 lambda x 2 mu x 1 K = 4 candidates per variant.
+        assert len(report.method_candidates("iFair-b")) == 4
+        assert len(report.method_candidates("LFR")) == 4
+        assert len(report.method_candidates("Full Data")) == 1
+
+    def test_metrics_in_range(self, report):
+        for c in report.candidates:
+            assert 0.0 <= c.test.accuracy <= 1.0
+            assert 0.0 <= c.test.consistency <= 1.0
+            if not math.isnan(c.test.auc):
+                assert 0.0 <= c.test.auc <= 1.0
+            if not math.isnan(c.test.parity):
+                assert 0.0 <= c.test.parity <= 1.0
+
+    def test_best_selection_uses_validation(self, report):
+        best = report.best("iFair-b", TuningCriterion.MAX_FAIRNESS)
+        for other in report.method_candidates("iFair-b"):
+            assert best.val_consistency >= other.val_consistency - 1e-12
+
+    def test_pareto_points_subset(self, report):
+        front = report.pareto_points()
+        assert front
+        all_ids = {id(c) for c in report.candidates}
+        assert all(id(c) in all_ids for c in front)
+
+    def test_table3_renders(self, report):
+        text = report.table3()
+        assert "Table III" in text
+        for token in ("Baseline", "Max Utility", "Max Fairness", "Optimal"):
+            assert token in text
+
+    def test_figure3_renders(self, report):
+        text = report.figure3()
+        assert "Figure 3" in text
+        assert "*" in text  # at least one Pareto marker
+
+    def test_unknown_method_raises(self, report):
+        with pytest.raises(ValidationError):
+            report.best("Nonexistent", TuningCriterion.OPTIMAL)
+
+    def test_ranking_dataset_rejected(self, tiny_xing, fast_config):
+        with pytest.raises(ValidationError, match="classification"):
+            run_classification(tiny_xing, fast_config)

@@ -1,0 +1,98 @@
+"""End-to-end behavioural tests of the public API.
+
+These follow the paper's decision-making pipeline (Figure 1): raw
+records -> learned fair representation -> downstream model -> audited
+outcomes, asserting the qualitative relationships the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro import IFair, LFR
+from repro.data.compas import generate_compas
+from repro.data.splits import stratified_split
+from repro.learners.logistic import LogisticRegression
+from repro.learners.scaler import StandardScaler
+from repro.metrics.classification import accuracy
+from repro.metrics.individual import consistency
+from repro.metrics.obfuscation import adversarial_accuracy
+
+
+@pytest.fixture(scope="module")
+def pipeline_artifacts():
+    dataset = generate_compas(220, charge_levels=8, random_state=11)
+    split = stratified_split(dataset.y, random_state=11)
+    scaler = StandardScaler().fit(dataset.X[split.train])
+    X = scaler.transform(dataset.X)
+    model = IFair(
+        n_prototypes=5,
+        lambda_util=1.0,
+        mu_fair=1.0,
+        n_restarts=1,
+        max_iter=60,
+        max_pairs=1200,
+        random_state=11,
+    ).fit(X[split.train], dataset.protected_indices)
+    return dataset, split, X, model
+
+
+class TestEndToEnd:
+    def test_downstream_classifier_trains_on_representation(
+        self, pipeline_artifacts
+    ):
+        dataset, split, X, model = pipeline_artifacts
+        Z_train = model.transform(X[split.train])
+        Z_test = model.transform(X[split.test])
+        clf = LogisticRegression(l2=1.0).fit(Z_train, dataset.y[split.train])
+        acc = accuracy(dataset.y[split.test], clf.predict(Z_test))
+        # Better than the trivial majority-class baseline.
+        majority = max(dataset.y[split.test].mean(), 1 - dataset.y[split.test].mean())
+        assert acc >= majority - 0.1
+
+    def test_representation_improves_consistency_over_full_data(
+        self, pipeline_artifacts
+    ):
+        dataset, split, X, model = pipeline_artifacts
+        X_star = X[:, dataset.nonprotected_indices]
+        y_train = dataset.y[split.train]
+
+        clf_full = LogisticRegression(l2=1.0).fit(X[split.train], y_train)
+        pred_full = clf_full.predict(X[split.test])
+
+        Z_train = model.transform(X[split.train])
+        Z_test = model.transform(X[split.test])
+        clf_fair = LogisticRegression(l2=1.0).fit(Z_train, y_train)
+        pred_fair = clf_fair.predict(Z_test)
+
+        ynn_full = consistency(X_star[split.test], pred_full, k=10)
+        ynn_fair = consistency(X_star[split.test], pred_fair, k=10)
+        assert ynn_fair >= ynn_full - 0.02
+
+    def test_representation_obfuscates_protected_attribute(
+        self, pipeline_artifacts
+    ):
+        dataset, split, X, model = pipeline_artifacts
+        X_masked = X.copy()
+        X_masked[:, dataset.protected_indices] = 0.0
+        adv_masked = adversarial_accuracy(X_masked, dataset.protected, random_state=0)
+        adv_fair = adversarial_accuracy(
+            model.transform(X), dataset.protected, random_state=0
+        )
+        assert adv_fair <= adv_masked + 0.05
+
+    def test_transform_generalises_to_unseen_records(self, pipeline_artifacts):
+        dataset, split, X, model = pipeline_artifacts
+        Z_test = model.transform(X[split.test])
+        assert Z_test.shape == (split.test.size, X.shape[1])
+        assert np.all(np.isfinite(Z_test))
+
+    def test_lfr_requires_labels_but_ifair_does_not(self):
+        dataset = generate_compas(100, charge_levels=6, random_state=2)
+        X = StandardScaler().fit_transform(dataset.X)
+        # iFair: unsupervised fit succeeds.
+        IFair(n_prototypes=3, n_restarts=1, max_iter=10, random_state=0).fit(
+            X, dataset.protected_indices
+        )
+        # LFR: positional signature demands labels and group vector.
+        with pytest.raises(TypeError):
+            LFR().fit(X)  # noqa: intentional misuse

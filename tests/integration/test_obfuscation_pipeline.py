@@ -1,0 +1,37 @@
+"""Integration tests: the Figure 4 obfuscation study."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline.obfuscation import run_obfuscation, run_obfuscation_study
+
+
+class TestObfuscation:
+    def test_classification_dataset_has_lfr(self, tiny_credit, fast_config):
+        row = run_obfuscation(tiny_credit, fast_config)
+        assert row.lfr is not None
+        assert 0.0 <= row.masked <= 1.0
+        assert 0.0 <= row.lfr <= 1.0
+        assert 0.0 <= row.ifair <= 1.0
+
+    def test_ranking_dataset_skips_lfr(self, tiny_xing, fast_config):
+        row = run_obfuscation(tiny_xing, fast_config)
+        assert row.lfr is None
+
+    def test_study_over_multiple_datasets(
+        self, tiny_credit, tiny_xing, fast_config
+    ):
+        report = run_obfuscation_study([tiny_credit, tiny_xing], fast_config)
+        assert [r.dataset for r in report.rows] == ["credit", "xing"]
+        text = report.figure4()
+        assert "Figure 4" in text
+        assert "n/a" in text  # the ranking dataset's LFR cell
+
+    def test_empty_study_rejected(self, fast_config):
+        with pytest.raises(ValidationError):
+            run_obfuscation_study([], fast_config)
+
+    def test_ifair_obfuscates_compas(self, tiny_compas, fast_config):
+        """Shape check: iFair's representation leaks less than masking."""
+        row = run_obfuscation(tiny_compas, fast_config)
+        assert row.ifair <= row.masked + 0.05

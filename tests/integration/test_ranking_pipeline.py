@@ -1,0 +1,85 @@
+"""Integration tests: the learning-to-rank experiment pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline.ranking import run_ranking, run_weight_sensitivity, table4
+
+
+@pytest.fixture(scope="module")
+def xing_report():
+    from repro.data.xing import generate_xing
+    from repro.pipeline.config import ExperimentConfig
+
+    config = ExperimentConfig(
+        mixture_grid=(0.1, 1.0),
+        prototype_grid=(4,),
+        n_restarts=1,
+        max_iter=25,
+        max_pairs=600,
+        random_state=3,
+    )
+    dataset = generate_xing(n_queries=4, candidates_per_query=15, random_state=3)
+    return run_ranking(
+        dataset, config, fair_ps=(0.5,), min_query_size=5
+    )
+
+
+class TestRankingPipeline:
+    def test_all_rows_present(self, xing_report):
+        methods = {r.method for r in xing_report.rows}
+        assert methods == {
+            "Full Data",
+            "Masked Data",
+            "SVD",
+            "SVD-masked",
+            "iFair-b",
+            "FA*IR (p=0.5)",
+        }
+
+    def test_full_data_recovers_xing_scores(self, xing_report):
+        """Xing's deserved score is linear in features, so Full Data must
+        achieve (near-)perfect ranking utility — the paper's Table V."""
+        row = xing_report.row("Full Data")
+        assert row.map_score > 0.95
+        assert row.kendall > 0.95
+
+    def test_metrics_in_range(self, xing_report):
+        for row in xing_report.rows:
+            assert 0.0 <= row.map_score <= 1.0
+            assert -1.0 <= row.kendall <= 1.0
+            assert 0.0 <= row.consistency <= 1.0
+            assert 0.0 <= row.protected_share <= 1.0
+
+    def test_table5_renders(self, xing_report):
+        text = xing_report.table5()
+        assert "Table V" in text
+        assert "iFair-b" in text
+
+    def test_missing_method_raises(self, xing_report):
+        with pytest.raises(ValidationError):
+            xing_report.row("Bogus")
+
+    def test_classification_dataset_rejected(self, tiny_credit, fast_config):
+        with pytest.raises(ValidationError, match="ranking"):
+            run_ranking(tiny_credit, fast_config)
+
+
+class TestWeightSensitivity:
+    def test_rows_and_rendering(self, tiny_xing, fast_config):
+        grid = [(1.0, 1.0, 1.0), (0.5, 1.0, 0.0)]
+        rows = run_weight_sensitivity(tiny_xing, grid, fast_config)
+        assert len(rows) == 2
+        text = table4(rows)
+        assert "Table IV" in text
+
+    def test_zero_weights_skipped(self, tiny_xing, fast_config):
+        rows = run_weight_sensitivity(
+            tiny_xing, [(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)], fast_config
+        )
+        assert len(rows) == 1
+
+    def test_non_xing_rejected(self, tiny_credit, fast_config):
+        with pytest.raises(ValidationError):
+            run_weight_sensitivity(tiny_credit, [(1, 1, 1)], fast_config)

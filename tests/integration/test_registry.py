@@ -1,0 +1,97 @@
+"""Integration tests: the experiment registry and remaining runners."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.datasets import run_dataset_statistics
+from repro.pipeline.motivation import run_motivation
+from repro.pipeline.posthoc import run_posthoc
+from repro.pipeline.registry import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "fig2",
+            "fig3",
+            "table3",
+            "table4",
+            "table5",
+            "fig4",
+            "fig5",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValidationError):
+            run_experiment("table99")
+
+    def test_cheap_experiments_run(self, fast_config):
+        for exp in ("table1", "table2"):
+            out = run_experiment(exp, fast_config)
+            assert isinstance(out, str) and out
+
+
+class TestMotivation:
+    def test_table1_structure(self, fast_config):
+        report = run_motivation(fast_config)
+        assert len(report.rows) == 10
+        assert report.rows[0].rank == 1
+        assert {r.gender for r in report.rows} <= {"male", "female"}
+        assert report.mean_rank_gap_similar_pairs > 0.0
+
+    def test_renders(self, fast_config):
+        text = run_motivation(fast_config).table1()
+        assert "Table I" in text
+        assert "Brand Strategist" in text
+
+
+class TestDatasetStatistics:
+    def test_all_five_datasets(self):
+        report = run_dataset_statistics(random_state=1)
+        assert {r.name for r in report.rows} == {
+            "compas",
+            "census",
+            "credit",
+            "airbnb",
+            "xing",
+        }
+
+    def test_classification_rows_have_base_rates(self):
+        report = run_dataset_statistics(random_state=1)
+        by_name = {r.name: r for r in report.rows}
+        assert by_name["compas"].base_rate_protected is not None
+        assert by_name["airbnb"].base_rate_protected is None
+
+    def test_renders(self):
+        text = run_dataset_statistics(random_state=1).table2()
+        assert "Table II" in text
+
+
+class TestPosthoc:
+    def test_p_sweep_shapes(self, tiny_xing, fast_config):
+        report = run_posthoc(
+            tiny_xing, fast_config, p_grid=(0.2, 0.8), min_query_size=5
+        )
+        assert [pt.p for pt in report.points] == [0.2, 0.8]
+        for pt in report.points:
+            assert 0.0 <= pt.map_score <= 1.0
+            assert 0.0 <= pt.protected_share <= 1.0
+
+    def test_protected_share_monotone_in_p(self, tiny_xing, fast_config):
+        report = run_posthoc(
+            tiny_xing, fast_config, p_grid=(0.1, 0.9), min_query_size=5
+        )
+        assert report.points[1].protected_share >= report.points[0].protected_share - 1e-9
+
+    def test_renders(self, tiny_xing, fast_config):
+        text = run_posthoc(
+            tiny_xing, fast_config, p_grid=(0.5,), min_query_size=5
+        ).figure5()
+        assert "Figure 5" in text
+
+    def test_classification_dataset_rejected(self, tiny_credit, fast_config):
+        with pytest.raises(ValidationError):
+            run_posthoc(tiny_credit, fast_config)

@@ -1,0 +1,91 @@
+"""Integration tests: the Figure 2 synthetic-property study."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline.synthetic_study import (
+    representation_shift,
+    run_synthetic_study,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    from repro.pipeline.config import ExperimentConfig
+
+    config = ExperimentConfig(
+        mixture_grid=(0.1, 1.0),
+        prototype_grid=(2,),
+        n_restarts=1,
+        max_iter=30,
+        max_pairs=600,
+        random_state=3,
+    )
+    return run_synthetic_study(config, n_records=80)
+
+
+class TestSyntheticStudy:
+    def test_six_cells(self, report):
+        assert len(report.cells) == 6
+        variants = {c.variant for c in report.cells}
+        assert variants == {"random", "x1", "x2"}
+
+    def test_metrics_bounded(self, report):
+        for cell in report.cells:
+            assert 0.0 <= cell.accuracy <= 1.0
+            assert 0.0 <= cell.consistency <= 1.0
+
+    def test_representations_stored(self, report):
+        for cell in report.cells:
+            assert cell.representation.shape == (80, 3)
+
+    def test_cell_lookup(self, report):
+        cell = report.cell("x1", "iFair-b")
+        assert cell.variant == "x1"
+        assert cell.method == "iFair-b"
+        with pytest.raises(ValidationError):
+            report.cell("x1", "Bogus")
+
+    def test_figure2_renders(self, report):
+        text = report.figure2()
+        assert "Figure 2" in text
+        assert "iFair-b" in text and "LFR" in text
+
+    def test_representation_shift_computable(self, report):
+        for method in ("iFair-b", "LFR"):
+            assert np.isfinite(representation_shift(report, method))
+
+    def test_ifair_representation_stable_across_variants(self):
+        """The paper's headline qualitative finding: with a
+        reconstruction-anchored setting, iFair representations barely
+        move when only group membership changes (the fairness loss
+        alone is translation-invariant, so the anchor matters)."""
+        from repro.core.model import IFair
+        from repro.data.synthetic import SyntheticVariant, generate_synthetic
+
+        reps = []
+        for variant in SyntheticVariant:
+            ds = generate_synthetic(variant, 80, random_state=3)
+            model = IFair(
+                n_prototypes=2,
+                lambda_util=1.0,
+                mu_fair=0.1,
+                init="protected_zero",
+                n_restarts=1,
+                max_iter=100,
+                random_state=3,
+                max_pairs=600,
+            ).fit(ds.X, [2])
+            reps.append(model.transform(ds.X)[:, :2])
+        scale = float(np.mean([np.mean(r**2) for r in reps]))
+        shifts = [
+            float(np.mean((reps[i] - reps[j]) ** 2))
+            for i in range(3)
+            for j in range(i + 1, 3)
+        ]
+        assert max(shifts) < 0.05 * scale
+
+    def test_shift_requires_multiple_variants(self, report):
+        with pytest.raises(ValidationError):
+            representation_shift(report, "Bogus")

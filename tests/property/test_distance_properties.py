@@ -1,0 +1,66 @@
+"""Property tests for the weighted Minkowski distance family."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.distance import WeightedMinkowski
+
+finite = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+vectors = hnp.arrays(np.float64, st.integers(2, 6), elements=finite)
+
+
+@st.composite
+def vector_pairs(draw):
+    n = draw(st.integers(2, 6))
+    make = lambda: draw(
+        hnp.arrays(np.float64, n, elements=finite)
+    )
+    return make(), make(), make()
+
+
+class TestMetricAxioms:
+    @settings(max_examples=60, deadline=None)
+    @given(vector_pairs(), st.sampled_from([1.0, 2.0, 3.0]))
+    def test_nonnegativity(self, vecs, p):
+        x, y, _ = vecs
+        assert WeightedMinkowski(p=p).between(x, y) >= 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(vector_pairs(), st.sampled_from([1.0, 2.0, 3.0]), st.booleans())
+    def test_symmetry(self, vecs, p, root):
+        x, y, _ = vecs
+        d = WeightedMinkowski(p=p, root=root)
+        assert d.between(x, y) == d.between(y, x)
+
+    @settings(max_examples=60, deadline=None)
+    @given(vectors, st.sampled_from([1.0, 2.0, 3.0]))
+    def test_identity_of_indiscernibles(self, x, p):
+        assert WeightedMinkowski(p=p).between(x, x) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(vector_pairs(), st.sampled_from([1.0, 2.0, 3.0]))
+    def test_triangle_inequality_rooted(self, vecs, p):
+        x, y, z = vecs
+        d = WeightedMinkowski(p=p, root=True)
+        assert d.between(x, z) <= d.between(x, y) + d.between(y, z) + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(vector_pairs())
+    def test_weights_are_monotone(self, vecs):
+        """Increasing any weight cannot decrease the distance."""
+        x, y, _ = vecs
+        n = x.size
+        d = WeightedMinkowski(p=2.0)
+        base_alpha = np.ones(n)
+        bumped = base_alpha.copy()
+        bumped[0] += 1.0
+        assert d.between(x, y, bumped) >= d.between(x, y, base_alpha) - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(vector_pairs())
+    def test_pairwise_consistent_with_between(self, vecs):
+        x, y, _ = vecs
+        d = WeightedMinkowski(p=2.0)
+        D = d.pairwise(np.vstack([x]), np.vstack([y]))
+        assert abs(D[0, 0] - d.between(x, y)) <= 1e-9 * max(1.0, abs(D[0, 0]))

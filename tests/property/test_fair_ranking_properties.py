@@ -1,0 +1,101 @@
+"""Property tests for the FA*IR re-ranker."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.baselines.fair_ranking import (
+    FairRanker,
+    minimum_protected_targets,
+    ranked_group_fairness_ok,
+)
+
+
+@st.composite
+def ranking_cases(draw):
+    n = draw(st.integers(5, 40))
+    seed = draw(st.integers(0, 2**31 - 1))
+    p = draw(st.sampled_from([0.2, 0.4, 0.5, 0.7]))
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=n)
+    protected = (rng.random(n) < 0.5).astype(float)
+    assume(0 < protected.sum() < n)
+    return scores, protected, p
+
+
+class TestFairRankerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ranking_cases())
+    def test_output_is_permutation(self, case):
+        scores, protected, p = case
+        result = FairRanker(p=p).rank(scores, protected)
+        assert sorted(result.ranking.tolist()) == list(range(scores.size))
+
+    @settings(max_examples=60, deadline=None)
+    @given(ranking_cases())
+    def test_satisfies_binomial_targets(self, case):
+        """Every prefix holds max(target, all-available) protected.
+
+        When the pool simply runs out of protected candidates the
+        binomial targets become infeasible; the ranker must then have
+        placed every protected candidate it had.
+        """
+        scores, protected, p = case
+        result = FairRanker(p=p, alpha=0.1).rank(scores, protected)
+        flags = protected[result.ranking].astype(int)
+        targets = minimum_protected_targets(flags.size, p, alpha=0.1)
+        counts = np.cumsum(flags)
+        total_protected = int(protected.sum())
+        feasible_targets = np.minimum(targets, total_protected)
+        assert np.all(counts >= feasible_targets)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ranking_cases())
+    def test_fair_scores_non_increasing(self, case):
+        scores, protected, p = case
+        result = FairRanker(p=p).rank(scores, protected)
+        assert np.all(np.diff(result.scores) <= 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ranking_cases())
+    def test_within_group_order_preserved(self, case):
+        """FA*IR never reorders candidates of the same group."""
+        scores, protected, p = case
+        result = FairRanker(p=p).rank(scores, protected)
+        for group in (0.0, 1.0):
+            group_scores = [
+                scores[i] for i in result.ranking if protected[i] == group
+            ]
+            assert all(
+                a >= b - 1e-12 for a, b in zip(group_scores, group_scores[1:])
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ranking_cases())
+    def test_unforced_positions_keep_scores(self, case):
+        scores, protected, p = case
+        result = FairRanker(p=p).rank(scores, protected)
+        organic = ~result.forced
+        np.testing.assert_allclose(
+            result.scores[organic], scores[result.ranking][organic]
+        )
+
+
+class TestTargetProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 60),
+        st.sampled_from([0.1, 0.3, 0.5, 0.7, 0.9]),
+        st.sampled_from([0.05, 0.1, 0.2]),
+    )
+    def test_targets_monotone_and_feasible(self, k, p, alpha):
+        targets = minimum_protected_targets(k, p, alpha)
+        assert np.all(np.diff(targets) >= 0)
+        assert np.all(targets >= 0)
+        assert np.all(targets <= np.arange(1, k + 1))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 40), st.sampled_from([0.3, 0.5, 0.7]))
+    def test_targets_increase_with_alpha(self, k, p):
+        strict = minimum_protected_targets(k, p, alpha=0.3)
+        loose = minimum_protected_targets(k, p, alpha=0.05)
+        assert np.all(strict >= loose)

@@ -1,0 +1,109 @@
+"""Property tests: analytic gradients agree with finite differences.
+
+These are the strongest correctness guarantees in the library — the
+iFair and LFR objectives have hand-derived gradients, and any algebra
+slip shows up here immediately.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import approx_fprime
+
+from repro.baselines.lfr import LFRObjective
+from repro.core.objective import IFairObjective
+
+
+def _relative_error(analytic, numeric):
+    scale = np.maximum(np.abs(numeric), 1.0)
+    return np.max(np.abs(analytic - numeric) / scale)
+
+
+@st.composite
+def ifair_cases(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    m = draw(st.integers(6, 15))
+    n = draw(st.integers(2, 6))
+    k = draw(st.integers(1, min(4, m - 1)))
+    lam = draw(st.sampled_from([0.0, 0.1, 1.0, 10.0]))
+    mu = draw(st.sampled_from([0.0, 0.1, 1.0, 10.0]))
+    n_protected = draw(st.integers(0, max(0, n - 1)))
+    return seed, m, n, k, lam, mu, n_protected
+
+
+class TestIFairGradient:
+    @settings(max_examples=25, deadline=None)
+    @given(ifair_cases())
+    def test_full_pair_gradient_matches_fd(self, case):
+        seed, m, n, k, lam, mu, n_protected = case
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(m, n))
+        protected = list(range(n - n_protected, n))
+        obj = IFairObjective(
+            X, protected, lambda_util=lam, mu_fair=mu, n_prototypes=k
+        )
+        theta = rng.uniform(0.1, 0.9, size=obj.n_params)
+        loss, grad = obj.loss_and_grad(theta)
+        assert loss == pytest.approx(obj.loss(theta), rel=1e-10)
+        numeric = approx_fprime(theta, obj.loss, 1e-6)
+        assert _relative_error(grad, numeric) < 5e-3
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(5, 60))
+    def test_sampled_pair_gradient_matches_fd(self, seed, max_pairs):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(10, 4))
+        obj = IFairObjective(
+            X, [3], lambda_util=1.0, mu_fair=1.0, n_prototypes=3,
+            max_pairs=max_pairs, random_state=seed,
+        )
+        theta = rng.uniform(0.1, 0.9, size=obj.n_params)
+        _, grad = obj.loss_and_grad(theta)
+        numeric = approx_fprime(theta, obj.loss, 1e-6)
+        assert _relative_error(grad, numeric) < 5e-3
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([1.0, 1.5, 3.0]))
+    def test_gradient_for_general_p(self, seed, p):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(8, 3))
+        obj = IFairObjective(X, None, n_prototypes=2, p=p)
+        # Keep parameters away from |diff| = 0 kinks for p < 2.
+        theta = rng.uniform(2.0, 3.0, size=obj.n_params)
+        _, grad = obj.loss_and_grad(theta)
+        numeric = approx_fprime(theta, obj.loss, 1e-7)
+        assert _relative_error(grad, numeric) < 1e-2
+
+
+class TestLFRGradient:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([0.0, 0.01, 1.0]),
+        st.sampled_from([0.0, 1.0]),
+        st.sampled_from([0.0, 0.5, 5.0]),
+    )
+    def test_gradient_matches_fd(self, seed, a_x, a_y, a_z):
+        rng = np.random.default_rng(seed)
+        m, n, k = 12, 4, 3
+        X = rng.normal(size=(m, n))
+        y = (rng.random(m) > 0.5).astype(float)
+        s = np.zeros(m)
+        s[: m // 2] = 1.0
+        if np.unique(y).size < 2:
+            y[0] = 1.0 - y[0]
+        obj = LFRObjective(X, y, s, a_x=a_x, a_y=a_y, a_z=a_z, n_prototypes=k)
+        theta = rng.uniform(0.15, 0.85, size=obj.n_params)
+        loss, grad = obj.loss_and_grad(theta)
+        assert loss == pytest.approx(obj.loss(theta), rel=1e-10)
+        numeric = approx_fprime(theta, obj.loss, 1e-6)
+        # L_z has |.| kinks; skip cases landing on one.
+        V, alpha, w = obj.unpack(theta)
+        from repro.utils.mathkit import softmax
+
+        diff = X[:, None, :] - V[None, :, :]
+        U = softmax(-((diff * diff) @ alpha), axis=1)
+        gap = U[s == 1].mean(axis=0) - U[s == 0].mean(axis=0)
+        if a_z > 0 and np.any(np.abs(gap) < 1e-4):
+            return
+        assert _relative_error(grad, numeric) < 5e-3

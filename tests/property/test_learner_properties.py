@@ -1,0 +1,92 @@
+"""Property tests for the from-scratch learners."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.learners.knn import KNearestNeighbors
+from repro.learners.linear import LinearRegression, RidgeRegression
+from repro.learners.logistic import LogisticRegression
+from repro.learners.scaler import StandardScaler
+
+
+class TestLinearProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 5))
+    def test_ols_residuals_orthogonal_to_features(self, seed, d):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, d))
+        y = rng.normal(size=30)
+        model = LinearRegression().fit(X, y)
+        resid = y - model.predict(X)
+        # Normal equations: X' r = 0 and 1' r = 0.
+        np.testing.assert_allclose(X.T @ resid, 0.0, atol=1e-7)
+        assert abs(resid.sum()) < 1e-7
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.floats(0.001, 100.0))
+    def test_ridge_coef_norm_decreases_in_l2(self, seed, l2):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 3))
+        y = rng.normal(size=40)
+        small = RidgeRegression(l2=l2).fit(X, y)
+        large = RidgeRegression(l2=l2 * 10).fit(X, y)
+        assert (
+            np.linalg.norm(large.coef_) <= np.linalg.norm(small.coef_) + 1e-9
+        )
+
+
+class TestLogisticProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_probabilities_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 3))
+        y = (rng.random(30) > 0.5).astype(float)
+        assume(0 < y.sum() < 30)
+        p = LogisticRegression(l2=1.0).fit(X, y).predict_proba(X)
+        assert np.all((p >= 0.0) & (p <= 1.0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_gradient_zero_at_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 2))
+        y = (rng.random(40) > 0.5).astype(float)
+        assume(0 < y.sum() < 40)
+        clf = LogisticRegression(l2=1.0).fit(X, y)
+        theta = np.concatenate([[clf.intercept_], clf.coef_])
+        _, grad = LogisticRegression._loss_grad(theta, X, y, 1.0)
+        assert np.max(np.abs(grad)) < 1e-4
+
+
+class TestScalerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 5))
+    def test_transform_inverse_roundtrip(self, seed, d):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(20, d)) * rng.uniform(0.5, 5.0, size=d)
+        scaler = StandardScaler(with_mean=True).fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_output_unit_variance(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(50, 3)) * np.array([0.1, 1.0, 10.0])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+
+class TestKnnProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 6))
+    def test_knn_indices_valid_and_unique(self, seed, k):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(k + 5, 3))
+        idx = KNearestNeighbors(k=k).fit(X).kneighbors(exclude_self=True)
+        for i, row in enumerate(idx):
+            assert len(set(row.tolist())) == k
+            assert i not in row
+            assert row.min() >= 0 and row.max() < X.shape[0]

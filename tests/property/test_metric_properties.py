@@ -1,0 +1,163 @@
+"""Property tests for the evaluation metrics."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.classification import accuracy, roc_auc
+from repro.metrics.group import protected_share_at_k, statistical_parity
+from repro.metrics.individual import consistency
+from repro.metrics.ranking import average_precision_at_k, kendall_tau
+
+finite = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def labelled_scores(draw):
+    n = draw(st.integers(4, 40))
+    y = draw(hnp.arrays(np.float64, n, elements=st.sampled_from([0.0, 1.0])))
+    assume(0 < y.sum() < n)
+    # Scores rounded to a coarse grid so affine transforms cannot merge
+    # distinct values through float rounding.
+    scores = np.round(
+        draw(hnp.arrays(np.float64, n, elements=finite)), 3
+    )
+    return y, scores
+
+
+@st.composite
+def binary_pairs(draw):
+    n = draw(st.integers(1, 30))
+    make = lambda: draw(
+        hnp.arrays(np.float64, n, elements=st.sampled_from([0.0, 1.0]))
+    )
+    return make(), make()
+
+
+@st.composite
+def score_pairs(draw):
+    n = draw(st.integers(2, 25))
+    make = lambda: draw(hnp.arrays(np.float64, n, elements=finite))
+    return make(), make()
+
+
+class TestAucProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(labelled_scores())
+    def test_bounded(self, case):
+        y, scores = case
+        assert 0.0 <= roc_auc(y, scores) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(labelled_scores())
+    def test_negation_flips_auc(self, case):
+        y, scores = case
+        assert roc_auc(y, scores) + roc_auc(y, -scores) == 1.0 or np.isclose(
+            roc_auc(y, scores) + roc_auc(y, -scores), 1.0
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        labelled_scores(),
+        st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+        st.sampled_from([-5.0, 0.0, 3.0]),
+    )
+    def test_positive_affine_invariance(self, case, scale, shift):
+        y, scores = case
+        a = roc_auc(y, scores)
+        b = roc_auc(y, scores * scale + shift)
+        assert np.isclose(a, b)
+
+
+class TestAccuracyProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 30), elements=st.sampled_from([0.0, 1.0]))
+    )
+    def test_self_accuracy_is_one(self, y):
+        assert accuracy(y, y) == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 30), elements=st.sampled_from([0.0, 1.0]))
+    )
+    def test_flipped_predictions_score_zero(self, y):
+        assert accuracy(y, 1.0 - y) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(binary_pairs())
+    def test_complement_pair_sums_to_one(self, pair):
+        y, y_hat = pair
+        assert accuracy(y, y_hat) + accuracy(y, 1.0 - y_hat) == 1.0
+
+
+class TestKendallProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite, unique=True, min_size=2, max_size=30))
+    def test_self_tau_is_one_without_ties(self, values):
+        a = np.asarray(values)
+        assert np.isclose(kendall_tau(a, a), 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(score_pairs())
+    def test_bounded_and_symmetric(self, pair):
+        a, b = pair
+        t = kendall_tau(a, b)
+        assert -1.0 - 1e-9 <= t <= 1.0 + 1e-9
+        assert np.isclose(t, kendall_tau(b, a))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite, unique=True, min_size=2, max_size=25))
+    def test_antisymmetry_under_negation(self, values):
+        a = np.asarray(values)
+        b = np.arange(a.size, dtype=float)
+        assert np.isclose(kendall_tau(a, b), -kendall_tau(-a, b))
+
+
+class TestConsistencyProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(12, 30), st.integers(1, 5))
+    def test_bounded(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 3))
+        y = rng.random(n)
+        c = consistency(X, y, k=k)
+        assert 0.0 <= c <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(12, 30))
+    def test_constant_outcomes_score_one(self, seed, n):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 3))
+        assert consistency(X, np.full(n, 0.3), k=3) == 1.0
+
+
+class TestGroupMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(4, 40))
+    def test_parity_bounded(self, seed, n):
+        rng = np.random.default_rng(seed)
+        y_hat = rng.random(n)
+        protected = np.zeros(n)
+        protected[: n // 2] = 1.0
+        assert 0.0 <= statistical_parity(y_hat, protected) <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 20), st.integers(1, 10))
+    def test_protected_share_bounded(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        protected = (rng.random(n) > 0.5).astype(float)
+        ranking = rng.permutation(n)
+        assert 0.0 <= protected_share_at_k(ranking, protected, k=k) <= 1.0
+
+
+class TestApProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 30), st.integers(1, 10))
+    def test_bounded_and_permutation_perfect(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        true = list(rng.permutation(n))
+        pred = list(rng.permutation(n))
+        ap = average_precision_at_k(true, pred, k=k)
+        assert 0.0 <= ap <= 1.0
+        assert average_precision_at_k(true, true, k=k) == 1.0

@@ -1,0 +1,59 @@
+"""Property tests for Pareto-front computation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.pareto import is_dominated, pareto_front
+
+finite = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+point_sets = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 25), st.integers(2, 3)),
+    elements=finite,
+)
+
+
+class TestParetoProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(point_sets)
+    def test_front_nonempty(self, pts):
+        assert len(pareto_front(pts)) >= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_sets)
+    def test_front_members_not_dominated(self, pts):
+        front = pareto_front(pts)
+        for i in front:
+            others = np.delete(pts, i, axis=0)
+            if others.shape[0]:
+                assert not is_dominated(pts[i], others)
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_sets)
+    def test_non_members_dominated_by_front(self, pts):
+        front = pareto_front(pts)
+        front_pts = pts[front]
+        for i in range(pts.shape[0]):
+            if i not in front:
+                assert is_dominated(pts[i], front_pts)
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_sets)
+    def test_max_per_axis_on_front(self, pts):
+        """Any point achieving the maximum of some axis is either on the
+        front or tied with a front point achieving the same maxima."""
+        front = set(pareto_front(pts))
+        best_first = pts[:, 0].max()
+        candidates = np.flatnonzero(pts[:, 0] == best_first)
+        # At least one maximiser of axis 0 must be on the front.
+        assert any(i in front for i in candidates)
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_sets, st.integers(0, 2**31 - 1))
+    def test_permutation_invariance(self, pts, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(pts.shape[0])
+        front_a = {tuple(pts[i]) for i in pareto_front(pts)}
+        front_b = {tuple(pts[perm][i]) for i in pareto_front(pts[perm])}
+        assert front_a == front_b

@@ -1,0 +1,90 @@
+"""Property tests for the probabilistic clustering kernels."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.objective import IFairObjective
+from repro.utils.mathkit import softmax
+
+finite = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
+
+
+class TestSoftmaxInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 8), st.integers(1, 6)),
+            elements=finite,
+        )
+    )
+    def test_rows_are_distributions(self, scores):
+        U = softmax(scores, axis=1)
+        assert np.all(U >= 0.0)
+        np.testing.assert_allclose(U.sum(axis=1), 1.0, atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.integers(2, 8), elements=finite),
+        st.floats(-100, 100, allow_nan=False),
+    )
+    def test_shift_invariance(self, row, shift):
+        a = softmax(row[None, :], axis=1)
+        b = softmax(row[None, :] + shift, axis=1)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(2, 8),
+            elements=st.floats(-25.0, 25.0, allow_nan=False).map(
+                lambda v: round(v, 3)
+            ),
+        )
+    )
+    def test_order_preservation(self, row):
+        # Scores on a 1e-3 grid in a range where exp() differences stay
+        # representable; softmax is then strictly monotone and sorting
+        # by score or by probability must agree up to ties.
+        U = softmax(row[None, :], axis=1)[0]
+        order_scores = np.argsort(row, kind="stable")
+        order_probs = np.argsort(U, kind="stable")
+        np.testing.assert_allclose(row[order_scores], row[order_probs])
+
+
+class TestTransformInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 5))
+    def test_memberships_simplex_for_any_parameters(self, seed, k):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(10, 4)) * 10
+        obj = IFairObjective(X, None, n_prototypes=k)
+        V = rng.normal(size=(k, 4)) * 10
+        alpha = rng.uniform(0.0, 5.0, size=4)
+        U = obj.memberships(V, alpha)
+        assert np.all(U >= 0)
+        np.testing.assert_allclose(U.sum(axis=1), 1.0, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 5))
+    def test_transform_stays_in_prototype_box(self, seed, k):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(10, 4))
+        obj = IFairObjective(X, None, n_prototypes=k)
+        V = rng.normal(size=(k, 4))
+        alpha = rng.uniform(0.0, 2.0, size=4)
+        Z = obj.transform(V, alpha)
+        assert np.all(Z >= V.min(axis=0) - 1e-9)
+        assert np.all(Z <= V.max(axis=0) + 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_loss_nonnegative_everywhere(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(8, 3))
+        obj = IFairObjective(X, [2], lambda_util=1.0, mu_fair=1.0, n_prototypes=2)
+        theta = rng.normal(size=obj.n_params)
+        theta[-3:] = np.abs(theta[-3:])  # alpha must be non-negative
+        assert obj.loss(theta) >= 0.0

@@ -1,0 +1,81 @@
+"""Tests for repro.baselines.adversarial."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.adversarial import AdversarialCensoring
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics.obfuscation import adversarial_accuracy
+
+
+@pytest.fixture
+def leaky_data(rng):
+    """Group membership is linearly recoverable from two directions."""
+    n = 300
+    s = (rng.random(n) < 0.5).astype(float)
+    X = np.column_stack(
+        [
+            2.0 * s + 0.3 * rng.normal(size=n),
+            -1.5 * s + 0.4 * rng.normal(size=n),
+            rng.normal(size=n),
+            rng.normal(size=n),
+        ]
+    )
+    return X, s
+
+
+class TestAdversarialCensoring:
+    def test_reduces_adversarial_accuracy(self, leaky_data):
+        X, s = leaky_data
+        before = adversarial_accuracy(X, s, random_state=0)
+        Z = AdversarialCensoring(n_rounds=4).fit_transform(X, s)
+        after = adversarial_accuracy(Z, s, random_state=0)
+        assert before > 0.9
+        assert after < 0.65
+
+    def test_shape_preserved(self, leaky_data):
+        X, s = leaky_data
+        Z = AdversarialCensoring(n_rounds=2).fit_transform(X, s)
+        assert Z.shape == X.shape
+
+    def test_transform_is_projection(self, leaky_data):
+        X, s = leaky_data
+        censor = AdversarialCensoring(n_rounds=3).fit(X, s)
+        Z = censor.transform(X)
+        np.testing.assert_allclose(censor.transform(Z), Z, atol=1e-8)
+
+    def test_censored_directions_counted(self, leaky_data):
+        X, s = leaky_data
+        censor = AdversarialCensoring(n_rounds=3).fit(X, s)
+        assert 1 <= censor.n_censored_directions <= 3
+
+    def test_new_records_transformable(self, leaky_data, rng):
+        X, s = leaky_data
+        censor = AdversarialCensoring(n_rounds=2).fit(X, s)
+        X_new = rng.normal(size=(5, X.shape[1]))
+        assert censor.transform(X_new).shape == (5, X.shape[1])
+
+    def test_directions_orthonormal_ish(self, leaky_data):
+        X, s = leaky_data
+        censor = AdversarialCensoring(n_rounds=4).fit(X, s)
+        for d in censor.directions_:
+            assert np.linalg.norm(d) == pytest.approx(1.0)
+
+    def test_single_group_rejected(self, rng):
+        X = rng.normal(size=(20, 3))
+        with pytest.raises(ValidationError):
+            AdversarialCensoring().fit(X, np.ones(20))
+
+    def test_transform_before_fit(self, rng):
+        with pytest.raises(NotFittedError):
+            AdversarialCensoring().transform(rng.normal(size=(3, 3)))
+
+    def test_feature_mismatch(self, leaky_data, rng):
+        X, s = leaky_data
+        censor = AdversarialCensoring(n_rounds=1).fit(X, s)
+        with pytest.raises(ValidationError):
+            censor.transform(rng.normal(size=(3, 9)))
+
+    def test_bad_rounds(self):
+        with pytest.raises(ValidationError):
+            AdversarialCensoring(n_rounds=0)

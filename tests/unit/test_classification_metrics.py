@@ -1,0 +1,62 @@
+"""Tests for repro.metrics.classification."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.classification import accuracy, confusion_counts, roc_auc
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy([0, 0, 1, 1], [0, 1, 0, 1]) == 0.5
+
+    def test_all_wrong(self):
+        assert accuracy([0, 1], [1, 0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            accuracy([0, 1], [0, 1, 1])
+
+
+class TestConfusionCounts:
+    def test_known_values(self):
+        counts = confusion_counts([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+        assert counts == {"tp": 2, "tn": 1, "fp": 1, "fn": 1}
+
+    def test_sums_to_n(self):
+        counts = confusion_counts([1, 0, 1, 0], [0, 0, 1, 1])
+        assert sum(counts.values()) == 4
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_scores(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        y = (rng.random(2000) > 0.5).astype(float)
+        scores = rng.random(2000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_give_half_credit(self):
+        # All scores equal: AUC must be exactly 0.5 with tie handling.
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_known_small_case(self):
+        # pos scores {3, 1}, neg scores {2, 0}: pairs (3>2, 3>0, 1<2, 1>0) -> 3/4
+        assert roc_auc([1, 0, 1, 0], [3.0, 2.0, 1.0, 0.0]) == pytest.approx(0.75)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValidationError, match="positive and negative"):
+            roc_auc([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_invariant_to_monotone_transform(self, rng):
+        y = (rng.random(100) > 0.4).astype(float)
+        scores = rng.normal(size=100)
+        assert roc_auc(y, scores) == pytest.approx(roc_auc(y, np.exp(scores)))

@@ -1,0 +1,47 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.pipeline.registry import EXPERIMENTS
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "table2"])
+        assert args.experiment == "table2"
+        assert args.scale == "fast"
+        assert args.seed == 7
+
+    def test_run_all_accepted(self):
+        args = build_parser().parse_args(["run", "all"])
+        assert args.experiment == "all"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table42"])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table2", "--scale", "huge"])
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "table2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_run_motivation(self, capsys):
+        assert main(["run", "table1", "--seed", "3"]) == 0
+        assert "Brand Strategist" in capsys.readouterr().out

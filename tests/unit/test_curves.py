@@ -1,0 +1,113 @@
+"""Tests for repro.metrics.curves."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.classification import roc_auc
+from repro.metrics.curves import (
+    auc_trapezoid,
+    calibration_curve,
+    expected_calibration_error,
+    precision_recall_curve,
+    roc_curve,
+)
+
+
+@pytest.fixture
+def scored(rng):
+    y = (rng.random(300) > 0.4).astype(float)
+    scores = y + rng.normal(scale=0.8, size=300)
+    return y, scores
+
+
+class TestRocCurve:
+    def test_endpoints(self, scored):
+        y, scores = scored
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_monotone(self, scored):
+        y, scores = scored
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_area_matches_rank_auc(self, scored):
+        y, scores = scored
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert auc_trapezoid(fpr, tpr) == pytest.approx(roc_auc(y, scores), abs=1e-10)
+
+    def test_area_matches_rank_auc_with_ties(self, rng):
+        y = (rng.random(200) > 0.5).astype(float)
+        scores = rng.integers(0, 5, size=200).astype(float)  # heavy ties
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert auc_trapezoid(fpr, tpr) == pytest.approx(roc_auc(y, scores), abs=1e-10)
+
+    def test_perfect_classifier(self):
+        fpr, tpr, _ = roc_curve([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9])
+        assert auc_trapezoid(fpr, tpr) == 1.0
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValidationError):
+            roc_curve([1, 1], [0.2, 0.3])
+
+    def test_decreasing_fpr_rejected_by_trapezoid(self):
+        with pytest.raises(ValidationError):
+            auc_trapezoid([0.5, 0.2], [0.1, 0.9])
+
+
+class TestPrecisionRecall:
+    def test_recall_monotone(self, scored):
+        y, scores = scored
+        _, recall, _ = precision_recall_curve(y, scores)
+        assert np.all(np.diff(recall) >= 0)
+
+    def test_final_recall_is_one(self, scored):
+        y, scores = scored
+        _, recall, _ = precision_recall_curve(y, scores)
+        assert recall[-1] == pytest.approx(1.0)
+
+    def test_perfect_classifier_precision(self):
+        precision, recall, _ = precision_recall_curve(
+            [0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]
+        )
+        # Until recall hits 1, precision stays 1 for a perfect ranking.
+        assert np.all(precision[recall <= 1.0][: 2] == 1.0)
+
+    def test_no_positives_raises(self):
+        with pytest.raises(ValidationError):
+            precision_recall_curve([0, 0], [0.1, 0.9])
+
+
+class TestCalibration:
+    def test_perfectly_calibrated_probabilities(self, rng):
+        probs = rng.random(20000)
+        y = (rng.random(20000) < probs).astype(float)
+        mean_pred, frac_pos, _ = calibration_curve(y, probs, n_bins=5)
+        np.testing.assert_allclose(mean_pred, frac_pos, atol=0.05)
+
+    def test_ece_near_zero_when_calibrated(self, rng):
+        probs = rng.random(20000)
+        y = (rng.random(20000) < probs).astype(float)
+        assert expected_calibration_error(y, probs, n_bins=10) < 0.03
+
+    def test_ece_large_for_overconfident(self, rng):
+        y = (rng.random(1000) > 0.5).astype(float)
+        probs = np.where(y == 1, 0.99, 0.99)  # always confident positive
+        assert expected_calibration_error(y, probs) > 0.3
+
+    def test_counts_sum_to_n(self, scored):
+        y, scores = scored
+        probs = 1.0 / (1.0 + np.exp(-scores))
+        _, _, counts = calibration_curve(y, probs, n_bins=7)
+        assert counts.sum() == y.size
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            calibration_curve([0, 1], [0.5, 1.5])
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValidationError):
+            calibration_curve([0, 1], [0.5, 0.5], n_bins=0)

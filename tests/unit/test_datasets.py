@@ -1,0 +1,163 @@
+"""Tests for the five dataset generators (Table II fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.data.airbnb import airbnb_schema, generate_airbnb
+from repro.data.census import census_schema, generate_census
+from repro.data.compas import compas_schema, generate_compas
+from repro.data.credit import credit_schema, generate_credit
+from repro.data.xing import (
+    compute_scores,
+    generate_xing,
+    xing_schema,
+)
+from repro.exceptions import ValidationError
+
+
+class TestSchemaWidths:
+    """The encoded dimensionalities documented in Table II."""
+
+    def test_compas_width(self):
+        assert compas_schema().encoded_width == 431
+
+    def test_census_width(self):
+        assert census_schema().encoded_width == 101
+
+    def test_credit_width(self):
+        assert credit_schema().encoded_width == 63
+
+    def test_airbnb_width(self):
+        assert airbnb_schema().encoded_width == 33
+
+    def test_xing_width(self):
+        assert xing_schema().encoded_width == 59
+
+
+@pytest.mark.parametrize(
+    "generator,kwargs",
+    [
+        (generate_compas, {"n_records": 200, "charge_levels": 10}),
+        (generate_census, {"n_records": 200}),
+        (generate_credit, {"n_records": 200}),
+    ],
+)
+class TestClassificationGenerators:
+    def test_shapes_consistent(self, generator, kwargs):
+        ds = generator(random_state=0, **kwargs)
+        assert ds.X.shape[0] == ds.y.size == ds.protected.size
+        assert len(ds.feature_names) == ds.n_features
+
+    def test_binary_outcome(self, generator, kwargs):
+        ds = generator(random_state=0, **kwargs)
+        assert set(np.unique(ds.y)) <= {0.0, 1.0}
+
+    def test_both_groups_present(self, generator, kwargs):
+        ds = generator(random_state=0, **kwargs)
+        assert 0.05 < ds.protected.mean() < 0.95
+
+    def test_deterministic(self, generator, kwargs):
+        a = generator(random_state=5, **kwargs)
+        b = generator(random_state=5, **kwargs)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_protected_indices_are_onehot_columns(self, generator, kwargs):
+        ds = generator(random_state=0, **kwargs)
+        block = ds.X[:, ds.protected_indices]
+        np.testing.assert_allclose(block.sum(axis=1), 1.0)
+
+    def test_protected_column_encodes_group(self, generator, kwargs):
+        ds = generator(random_state=0, **kwargs)
+        # The second protected one-hot column is the s=1 indicator.
+        np.testing.assert_array_equal(ds.X[:, ds.protected_indices[1]], ds.protected)
+
+    def test_too_few_records_rejected(self, generator, kwargs):
+        small = dict(kwargs)
+        small["n_records"] = 5
+        with pytest.raises(ValidationError):
+            generator(random_state=0, **small)
+
+
+class TestBaseRates:
+    """Base rates approximate Table II at moderate scale."""
+
+    def test_compas(self):
+        ds = generate_compas(3000, charge_levels=20, random_state=0)
+        assert ds.base_rate(1) == pytest.approx(0.52, abs=0.05)
+        assert ds.base_rate(0) == pytest.approx(0.40, abs=0.05)
+
+    def test_census(self):
+        ds = generate_census(3000, random_state=0)
+        assert ds.base_rate(1) == pytest.approx(0.12, abs=0.05)
+        assert ds.base_rate(0) == pytest.approx(0.31, abs=0.05)
+
+    def test_credit(self):
+        ds = generate_credit(1000, random_state=0)
+        assert ds.base_rate(1) == pytest.approx(0.67, abs=0.07)
+        assert ds.base_rate(0) == pytest.approx(0.72, abs=0.07)
+
+
+class TestMaskingInsufficiency:
+    """The core phenomenon: proxies leak the protected attribute."""
+
+    def test_compas_proxies_leak(self):
+        from repro.learners.scaler import StandardScaler
+        from repro.metrics.obfuscation import adversarial_accuracy
+
+        ds = generate_compas(600, charge_levels=10, random_state=0)
+        X = StandardScaler().fit_transform(ds.X)
+        X_masked = X.copy()
+        X_masked[:, ds.protected_indices] = 0.0
+        majority = max(ds.protected.mean(), 1 - ds.protected.mean())
+        acc = adversarial_accuracy(X_masked, ds.protected, random_state=0)
+        assert acc > majority + 0.03
+
+
+class TestRankingGenerators:
+    def test_xing_query_structure(self):
+        ds = generate_xing(n_queries=5, candidates_per_query=12, random_state=0)
+        assert ds.n_records == 60
+        assert np.unique(ds.query_ids).size == 5
+        counts = np.bincount(ds.query_ids)
+        assert np.all(counts == 12)
+
+    def test_xing_score_linear_in_features(self):
+        ds = generate_xing(n_queries=4, candidates_per_query=10, random_state=0)
+        recomputed = compute_scores(ds)
+        np.testing.assert_allclose(recomputed, ds.y)
+
+    def test_xing_custom_weights_change_scores(self):
+        ds = generate_xing(n_queries=4, candidates_per_query=10, random_state=0)
+        alt = compute_scores(ds, weights=(1.0, 0.0, 0.0))
+        assert not np.allclose(alt, ds.y)
+
+    def test_xing_weight_validation(self):
+        ds = generate_xing(n_queries=2, candidates_per_query=5, random_state=0)
+        with pytest.raises(ValidationError):
+            compute_scores(ds, weights=(1.0, 1.0))
+
+    def test_xing_protected_scores_lower(self):
+        ds = generate_xing(n_queries=20, candidates_per_query=40, random_state=0)
+        assert ds.y[ds.protected == 1].mean() < ds.y[ds.protected == 0].mean()
+
+    def test_airbnb_has_queries(self):
+        ds = generate_airbnb(500, random_state=0)
+        assert ds.query_ids is not None
+        assert np.unique(ds.query_ids).size > 5
+
+    def test_airbnb_score_not_perfectly_linear(self):
+        from repro.learners.linear import LinearRegression
+
+        ds = generate_airbnb(800, random_state=0)
+        model = LinearRegression().fit(ds.X, ds.y)
+        residual = ds.y - model.predict(ds.X)
+        assert residual.std() > 0.1  # hidden quality component persists
+
+    def test_airbnb_task_marked_ranking(self):
+        ds = generate_airbnb(300, random_state=0)
+        assert ds.task == "ranking"
+
+    def test_xing_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            generate_xing(n_queries=0)

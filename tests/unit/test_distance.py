@@ -1,0 +1,74 @@
+"""Tests for repro.core.distance."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import WeightedMinkowski
+from repro.exceptions import ValidationError
+
+
+class TestWeightedMinkowski:
+    def test_p2_unrooted_matches_sq_euclidean(self, rng):
+        d = WeightedMinkowski(p=2.0)
+        x, y = rng.normal(size=4), rng.normal(size=4)
+        assert d.between(x, y) == pytest.approx(np.sum((x - y) ** 2))
+
+    def test_weights_scale_contributions(self):
+        d = WeightedMinkowski(p=2.0)
+        x, y = np.array([1.0, 1.0]), np.array([0.0, 0.0])
+        assert d.between(x, y, alpha=[2.0, 0.0]) == pytest.approx(2.0)
+
+    def test_zero_weight_ignores_attribute(self, rng):
+        d = WeightedMinkowski(p=2.0)
+        x, y = rng.normal(size=3), rng.normal(size=3)
+        y_mod = y.copy()
+        y_mod[2] += 100.0
+        alpha = [1.0, 1.0, 0.0]
+        assert d.between(x, y, alpha) == pytest.approx(d.between(x, y_mod, alpha))
+
+    def test_rooted_p2_is_a_metric_triangle(self, rng):
+        d = WeightedMinkowski(p=2.0, root=True)
+        for _ in range(20):
+            x, y, z = rng.normal(size=(3, 5))
+            assert d.between(x, z) <= d.between(x, y) + d.between(y, z) + 1e-9
+
+    def test_symmetry(self, rng):
+        d = WeightedMinkowski(p=3.0)
+        x, y = rng.normal(size=4), rng.normal(size=4)
+        assert d.between(x, y) == pytest.approx(d.between(y, x))
+
+    def test_identity(self, rng):
+        d = WeightedMinkowski(p=2.0)
+        x = rng.normal(size=4)
+        assert d.between(x, x) == 0.0
+
+    def test_pairwise_matches_between(self, rng):
+        d = WeightedMinkowski(p=2.0)
+        X = rng.normal(size=(4, 3))
+        Y = rng.normal(size=(3, 3))
+        alpha = rng.uniform(0.1, 1.0, size=3)
+        D = d.pairwise(X, Y, alpha)
+        for i in range(4):
+            for j in range(3):
+                assert D[i, j] == pytest.approx(d.between(X[i], Y[j], alpha))
+
+    def test_pairwise_default_y_is_x(self, rng):
+        d = WeightedMinkowski()
+        X = rng.normal(size=(5, 2))
+        D = d.pairwise(X)
+        assert D.shape == (5, 5)
+        np.testing.assert_allclose(np.diag(D), 0.0, atol=1e-12)
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            WeightedMinkowski(p=0.5)
+
+    def test_negative_alpha_rejected(self, rng):
+        d = WeightedMinkowski()
+        with pytest.raises(ValidationError):
+            d.between([1.0, 2.0], [0.0, 0.0], alpha=[-1.0, 1.0])
+
+    def test_dimension_mismatch_rejected(self, rng):
+        d = WeightedMinkowski()
+        with pytest.raises(ValidationError):
+            d.pairwise(rng.normal(size=(3, 2)), rng.normal(size=(3, 4)))

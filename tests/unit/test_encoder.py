@@ -1,0 +1,84 @@
+"""Tests for repro.learners.encoder."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learners.encoder import OneHotEncoder
+
+
+def _mixed():
+    return np.array(
+        [
+            [1.0, "red", 10],
+            [2.0, "blue", 20],
+            [3.0, "red", 30],
+        ],
+        dtype=object,
+    )
+
+
+class TestOneHotEncoder:
+    def test_basic_shape(self):
+        enc = OneHotEncoder(categorical_columns=[1])
+        out = enc.fit_transform(_mixed())
+        # 2 numeric pass-through + 2 categories
+        assert out.shape == (3, 4)
+
+    def test_indicator_values(self):
+        enc = OneHotEncoder(categorical_columns=[1])
+        out = enc.fit_transform(_mixed())
+        cat_block = out[:, 2:]
+        np.testing.assert_allclose(cat_block.sum(axis=1), 1.0)
+
+    def test_numeric_passthrough_order(self):
+        enc = OneHotEncoder(categorical_columns=[1])
+        out = enc.fit_transform(_mixed())
+        np.testing.assert_allclose(out[:, 0], [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(out[:, 1], [10.0, 20.0, 30.0])
+
+    def test_unseen_category_encodes_to_zeros(self):
+        enc = OneHotEncoder(categorical_columns=[1]).fit(_mixed())
+        new = np.array([[5.0, "green", 1]], dtype=object)
+        out = enc.transform(new)
+        np.testing.assert_allclose(out[0, 2:], 0.0)
+
+    def test_feature_names(self):
+        enc = OneHotEncoder(categorical_columns=[1]).fit(_mixed())
+        assert "col0" in enc.feature_names_
+        assert any(name.startswith("col1=") for name in enc.feature_names_)
+
+    def test_output_indices_for_categorical(self):
+        enc = OneHotEncoder(categorical_columns=[1]).fit(_mixed())
+        idx = enc.output_indices_for(1)
+        assert len(idx) == 2
+
+    def test_output_indices_for_numeric(self):
+        enc = OneHotEncoder(categorical_columns=[1]).fit(_mixed())
+        assert enc.output_indices_for(0) == [0]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            OneHotEncoder(categorical_columns=[0]).transform(_mixed())
+
+    def test_column_count_mismatch_raises(self):
+        enc = OneHotEncoder(categorical_columns=[1]).fit(_mixed())
+        with pytest.raises(ValidationError):
+            enc.transform(np.array([[1.0, "red"]], dtype=object))
+
+    def test_categorical_index_out_of_range(self):
+        enc = OneHotEncoder(categorical_columns=[9])
+        with pytest.raises(ValidationError):
+            enc.fit(_mixed())
+
+    def test_non_numeric_in_numeric_column_raises(self):
+        enc = OneHotEncoder(categorical_columns=[1]).fit(_mixed())
+        bad = np.array([["oops", "red", 3]], dtype=object)
+        with pytest.raises(ValidationError):
+            enc.transform(bad)
+
+    def test_all_columns_categorical(self):
+        X = np.array([["a", "x"], ["b", "y"]], dtype=object)
+        out = OneHotEncoder(categorical_columns=[0, 1]).fit_transform(X)
+        assert out.shape == (2, 4)
+        np.testing.assert_allclose(out.sum(axis=1), 2.0)

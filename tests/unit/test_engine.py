@@ -1,0 +1,77 @@
+"""Tests for repro.ranking.engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ranking.engine import evaluate_scores
+from repro.ranking.query import build_queries
+
+
+class TestEvaluateScores:
+    def test_perfect_scores_perfect_utility(self, tiny_xing):
+        queries = build_queries(tiny_xing, min_size=2)
+        evaluation = evaluate_scores(tiny_xing, queries, tiny_xing.y)
+        assert evaluation.map_score == pytest.approx(1.0)
+        assert evaluation.kendall == pytest.approx(1.0)
+
+    def test_reversed_scores_worst_kendall(self, tiny_xing):
+        queries = build_queries(tiny_xing, min_size=2)
+        evaluation = evaluate_scores(tiny_xing, queries, -tiny_xing.y)
+        assert evaluation.kendall == pytest.approx(-1.0)
+
+    def test_constant_scores_full_consistency(self, tiny_xing):
+        queries = build_queries(tiny_xing, min_size=2)
+        evaluation = evaluate_scores(
+            tiny_xing, queries, np.zeros(tiny_xing.n_records)
+        )
+        assert evaluation.consistency == pytest.approx(1.0)
+
+    def test_per_query_entries(self, tiny_xing):
+        queries = build_queries(tiny_xing, min_size=2)
+        evaluation = evaluate_scores(tiny_xing, queries, tiny_xing.y)
+        assert len(evaluation.per_query) == len(queries)
+        assert {q.qid for q in evaluation.per_query} == {q.qid for q in queries}
+
+    def test_protected_share_bounds(self, tiny_xing, rng):
+        queries = build_queries(tiny_xing, min_size=2)
+        evaluation = evaluate_scores(
+            tiny_xing, queries, rng.normal(size=tiny_xing.n_records)
+        )
+        assert 0.0 <= evaluation.protected_share <= 1.0
+
+    def test_true_scores_override(self, tiny_xing, rng):
+        queries = build_queries(tiny_xing, min_size=2)
+        alt_truth = rng.normal(size=tiny_xing.n_records)
+        evaluation = evaluate_scores(
+            tiny_xing, queries, alt_truth, true_scores=alt_truth
+        )
+        assert evaluation.map_score == pytest.approx(1.0)
+
+    def test_x_star_override_shape_checked(self, tiny_xing, rng):
+        queries = build_queries(tiny_xing, min_size=2)
+        with pytest.raises(ValidationError, match="X_star"):
+            evaluate_scores(
+                tiny_xing, queries, tiny_xing.y, X_star=rng.normal(size=(3, 2))
+            )
+
+    def test_empty_queries_rejected(self, tiny_xing):
+        with pytest.raises(ValidationError):
+            evaluate_scores(tiny_xing, [], tiny_xing.y)
+
+    def test_score_length_checked(self, tiny_xing):
+        queries = build_queries(tiny_xing, min_size=2)
+        with pytest.raises(ValidationError):
+            evaluate_scores(tiny_xing, queries, np.zeros(3))
+
+    def test_means_match_per_query(self, tiny_xing, rng):
+        queries = build_queries(tiny_xing, min_size=2)
+        evaluation = evaluate_scores(
+            tiny_xing, queries, rng.normal(size=tiny_xing.n_records)
+        )
+        assert evaluation.map_score == pytest.approx(
+            np.mean([q.ap_at_k for q in evaluation.per_query])
+        )
+        assert evaluation.kendall == pytest.approx(
+            np.mean([q.kendall for q in evaluation.per_query])
+        )

@@ -1,0 +1,79 @@
+"""Tests for repro.ranking.exposure."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ranking.exposure import (
+    exposure_ratio,
+    group_exposure,
+    individual_exposure_gap,
+    position_exposure,
+)
+
+
+class TestPositionExposure:
+    def test_first_rank_highest(self):
+        exp = position_exposure(10)
+        assert exp[0] == 1.0
+        assert np.all(np.diff(exp) < 0)
+
+    def test_known_values(self):
+        exp = position_exposure(3)
+        np.testing.assert_allclose(
+            exp, [1.0, 1.0 / np.log2(3), 0.5]
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            position_exposure(0)
+
+
+class TestGroupExposure:
+    def test_top_heavy_group_gets_more(self):
+        protected = np.array([1.0, 1.0, 0.0, 0.0])
+        top_ranking = [0, 1, 2, 3]  # protected first
+        bottom_ranking = [2, 3, 0, 1]
+        assert group_exposure(top_ranking, protected) > group_exposure(
+            bottom_ranking, protected
+        )
+
+    def test_ratio_one_for_interleaved(self):
+        protected = np.array([1.0, 0.0, 1.0, 0.0])
+        # symmetric placement: items 0,2 protected at ranks 1,3; 1,3 at 2,4
+        ratio_a = exposure_ratio([0, 1, 2, 3], protected)
+        ratio_b = exposure_ratio([1, 0, 3, 2], protected)
+        assert ratio_a > 1.0 > ratio_b
+        assert ratio_a * ratio_b == pytest.approx(1.0, abs=0.2)
+
+    def test_missing_group_raises(self):
+        with pytest.raises(ValidationError):
+            group_exposure([0, 1], np.zeros(2))
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ValidationError):
+            group_exposure([0, 0], np.array([1.0, 0.0]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            group_exposure([5], np.array([1.0, 0.0]))
+
+
+class TestIndividualExposureGap:
+    def test_zero_when_similar_items_adjacent(self, rng):
+        # Two identical pairs placed at adjacent ranks: small gap.
+        Q = np.array([[0.0], [0.0], [5.0], [5.0]])
+        adjacent = individual_exposure_gap([0, 1, 2, 3], Q, top_fraction=0.4)
+        separated = individual_exposure_gap([0, 2, 3, 1], Q, top_fraction=0.4)
+        assert adjacent < separated
+
+    def test_bounded_by_max_exposure_spread(self, rng):
+        Q = rng.normal(size=(12, 3))
+        ranking = list(rng.permutation(12))
+        gap = individual_exposure_gap(ranking, Q)
+        assert 0.0 <= gap <= 1.0  # exposures live in (0, 1]
+
+    def test_invalid_fraction(self, rng):
+        Q = rng.normal(size=(5, 2))
+        with pytest.raises(ValidationError):
+            individual_exposure_gap([0, 1, 2, 3, 4], Q, top_fraction=0.0)

@@ -1,0 +1,155 @@
+"""Tests for repro.baselines.fair_ranking (FA*IR)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fair_ranking import (
+    FairRanker,
+    adjust_significance,
+    minimum_protected_targets,
+    ranked_group_fairness_ok,
+)
+from repro.exceptions import ValidationError
+
+
+class TestMinimumTargets:
+    def test_monotone_nondecreasing(self):
+        targets = minimum_protected_targets(50, p=0.5, alpha=0.1)
+        assert np.all(np.diff(targets) >= 0)
+
+    def test_zero_for_tiny_prefixes(self):
+        targets = minimum_protected_targets(10, p=0.3, alpha=0.1)
+        assert targets[0] == 0  # one candidate cannot be required protected
+
+    def test_grows_with_p(self):
+        low = minimum_protected_targets(40, p=0.2, alpha=0.1)
+        high = minimum_protected_targets(40, p=0.8, alpha=0.1)
+        assert np.all(high >= low)
+        assert high.sum() > low.sum()
+
+    def test_never_exceeds_prefix_length(self):
+        targets = minimum_protected_targets(30, p=0.9, alpha=0.5)
+        assert np.all(targets <= np.arange(1, 31))
+
+    def test_matches_binomial_quantile(self):
+        from scipy import stats
+
+        targets = minimum_protected_targets(20, p=0.5, alpha=0.1)
+        for i in range(1, 21):
+            assert targets[i - 1] == stats.binom.ppf(0.1, i, 0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            minimum_protected_targets(0, 0.5)
+        with pytest.raises(ValidationError):
+            minimum_protected_targets(5, 0.0)
+        with pytest.raises(ValidationError):
+            minimum_protected_targets(5, 0.5, alpha=0.0)
+
+
+class TestRankedGroupFairnessCheck:
+    def test_all_protected_passes(self):
+        assert ranked_group_fairness_ok([1] * 10, p=0.5)
+
+    def test_no_protected_fails_eventually(self):
+        assert not ranked_group_fairness_ok([0] * 50, p=0.5, alpha=0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ranked_group_fairness_ok([], p=0.5)
+
+
+class TestAdjustSignificance:
+    def test_corrected_alpha_below_nominal(self):
+        alpha_c = adjust_significance(30, p=0.5, alpha=0.1, random_state=0)
+        assert 0.0 < alpha_c <= 0.1
+
+    def test_family_failure_rate_near_alpha(self, rng):
+        k, p, alpha = 25, 0.5, 0.1
+        alpha_c = adjust_significance(k, p, alpha, n_simulations=4000, random_state=0)
+        targets = minimum_protected_targets(k, p, alpha_c)
+        draws = (rng.random((4000, k)) < p).astype(int)
+        counts = np.cumsum(draws, axis=1)
+        fail = np.mean(np.any(counts < targets[None, :], axis=1))
+        assert fail == pytest.approx(alpha, abs=0.05)
+
+
+class TestFairRanker:
+    def _scores_with_bias(self, rng, n=40, gap=1.0):
+        protected = (rng.random(n) < 0.4).astype(float)
+        scores = rng.normal(size=n) - gap * protected
+        return scores, protected
+
+    def test_output_is_permutation(self, rng):
+        scores, protected = self._scores_with_bias(rng)
+        result = FairRanker(p=0.5).rank(scores, protected)
+        assert sorted(result.ranking.tolist()) == list(range(40))
+
+    def test_satisfies_own_targets(self, rng):
+        scores, protected = self._scores_with_bias(rng, gap=2.0)
+        ranker = FairRanker(p=0.5, alpha=0.1)
+        result = ranker.rank(scores, protected)
+        flags = protected[result.ranking].astype(int)
+        assert ranked_group_fairness_ok(flags, p=0.5, alpha=0.1)
+
+    def test_no_constraint_returns_score_order(self, rng):
+        scores, protected = self._scores_with_bias(rng, gap=0.0)
+        # p tiny: constraint never binds, output must be pure score order.
+        result = FairRanker(p=0.01, alpha=0.1).rank(scores, protected)
+        np.testing.assert_array_equal(
+            result.ranking, np.argsort(-scores, kind="mergesort")
+        )
+        assert not result.forced.any()
+
+    def test_higher_p_promotes_more_protected(self, rng):
+        scores, protected = self._scores_with_bias(rng, gap=2.0)
+        low = FairRanker(p=0.2).rank(scores, protected)
+        high = FairRanker(p=0.8).rank(scores, protected)
+        top = 10
+        assert (
+            protected[high.ranking[:top]].sum()
+            >= protected[low.ranking[:top]].sum()
+        )
+
+    def test_fair_scores_non_increasing(self, rng):
+        scores, protected = self._scores_with_bias(rng, gap=2.0)
+        result = FairRanker(p=0.7).rank(scores, protected)
+        assert np.all(np.diff(result.scores) <= 1e-9)
+
+    def test_organic_positions_keep_own_score(self, rng):
+        scores, protected = self._scores_with_bias(rng, gap=2.0)
+        result = FairRanker(p=0.7).rank(scores, protected)
+        organic = ~result.forced
+        np.testing.assert_allclose(
+            result.scores[organic], scores[result.ranking][organic]
+        )
+
+    def test_topk_cut(self, rng):
+        scores, protected = self._scores_with_bias(rng)
+        result = FairRanker(p=0.5).rank(scores, protected, k=10)
+        assert result.ranking.size == 10
+
+    def test_k_out_of_range(self, rng):
+        scores, protected = self._scores_with_bias(rng)
+        with pytest.raises(ValidationError):
+            FairRanker(p=0.5).rank(scores, protected, k=0)
+        with pytest.raises(ValidationError):
+            FairRanker(p=0.5).rank(scores, protected, k=41)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValidationError):
+            FairRanker(p=0.0)
+        with pytest.raises(ValidationError):
+            FairRanker(p=0.5, alpha=1.0)
+
+    def test_all_protected_input(self, rng):
+        scores = rng.normal(size=10)
+        result = FairRanker(p=0.5).rank(scores, np.ones(10))
+        np.testing.assert_array_equal(
+            result.ranking, np.argsort(-scores, kind="mergesort")
+        )
+
+    def test_adjusted_mode_runs(self, rng):
+        scores, protected = self._scores_with_bias(rng)
+        result = FairRanker(p=0.5, adjust=True, random_state=0).rank(scores, protected)
+        assert result.ranking.size == 40

@@ -1,0 +1,143 @@
+"""Tests for repro.data.generator (LatentFactorSampler)."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import LatentFactorSampler
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def sampler():
+    return LatentFactorSampler(0)
+
+
+class TestLatent:
+    def test_shape(self, sampler):
+        assert sampler.latent(50, 3).shape == (50, 3)
+
+    def test_standard_moments(self):
+        z = LatentFactorSampler(0).latent(20000, 1)
+        assert z.mean() == pytest.approx(0.0, abs=0.05)
+        assert z.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_sizes(self, sampler):
+        with pytest.raises(ValidationError):
+            sampler.latent(0, 1)
+
+
+class TestProtectedGroups:
+    def test_prevalence_hit(self, sampler):
+        z = sampler.latent(5000, 1)
+        s = sampler.protected_groups(z, prevalence=0.3)
+        assert s.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_correlation_creates_group_difference(self):
+        sampler = LatentFactorSampler(0)
+        z = sampler.latent(5000, 1)
+        s = sampler.protected_groups(z, prevalence=0.5, correlation=0.8)
+        assert z[s == 1, 0].mean() > z[s == 0, 0].mean() + 0.5
+
+    def test_zero_correlation_independent(self):
+        sampler = LatentFactorSampler(0)
+        z = sampler.latent(5000, 1)
+        s = sampler.protected_groups(z, prevalence=0.5, correlation=0.0)
+        assert abs(z[s == 1, 0].mean() - z[s == 0, 0].mean()) < 0.1
+
+    def test_invalid_prevalence(self, sampler):
+        z = sampler.latent(10, 1)
+        with pytest.raises(ValidationError):
+            sampler.protected_groups(z, prevalence=1.0)
+
+    def test_invalid_correlation(self, sampler):
+        z = sampler.latent(10, 1)
+        with pytest.raises(ValidationError):
+            sampler.protected_groups(z, 0.5, correlation=2.0)
+
+
+class TestNumericAttribute:
+    def test_loading_drives_correlation(self):
+        sampler = LatentFactorSampler(0)
+        z = sampler.latent(3000, 1)
+        s = np.zeros(3000)
+        col = sampler.numeric_attribute(z, s, loading=5.0, noise=1.0)
+        assert np.corrcoef(col, z[:, 0])[0, 1] > 0.9
+
+    def test_group_shift(self):
+        sampler = LatentFactorSampler(0)
+        z = np.zeros((2000, 1))
+        s = np.concatenate([np.ones(1000), np.zeros(1000)])
+        col = sampler.numeric_attribute(z, s, loading=0.0, group_shift=3.0, noise=0.5)
+        assert col[:1000].mean() - col[1000:].mean() == pytest.approx(3.0, abs=0.2)
+
+    def test_clip_min(self, sampler):
+        z = sampler.latent(100, 1)
+        col = sampler.numeric_attribute(z, np.zeros(100), clip_min=0.0)
+        assert np.all(col >= 0.0)
+
+
+class TestCategoricalAttribute:
+    def test_codes_in_range(self, sampler):
+        s = (np.arange(200) % 2).astype(float)
+        codes = sampler.categorical_attribute(s, 5, group_skew=0.5)
+        assert codes.min() >= 0 and codes.max() < 5
+
+    def test_group_skew_changes_distributions(self):
+        sampler = LatentFactorSampler(0)
+        s = np.concatenate([np.ones(3000), np.zeros(3000)])
+        codes = sampler.categorical_attribute(s, 4, group_skew=1.0)
+        hist1 = np.bincount(codes[:3000], minlength=4) / 3000
+        hist0 = np.bincount(codes[3000:], minlength=4) / 3000
+        assert np.abs(hist1 - hist0).sum() > 0.2
+
+    def test_zero_skew_similar_distributions(self):
+        sampler = LatentFactorSampler(0)
+        s = np.concatenate([np.ones(3000), np.zeros(3000)])
+        codes = sampler.categorical_attribute(s, 4, group_skew=0.0)
+        hist1 = np.bincount(codes[:3000], minlength=4) / 3000
+        hist0 = np.bincount(codes[3000:], minlength=4) / 3000
+        assert np.abs(hist1 - hist0).sum() < 0.1
+
+    def test_invalid_args(self, sampler):
+        s = np.zeros(10)
+        with pytest.raises(ValidationError):
+            sampler.categorical_attribute(s, 1)
+        with pytest.raises(ValidationError):
+            sampler.categorical_attribute(s, 3, group_skew=2.0)
+
+
+class TestOneHot:
+    def test_encoding(self, sampler):
+        block = sampler.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            block, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_out_of_range_rejected(self, sampler):
+        with pytest.raises(ValidationError):
+            sampler.one_hot(np.array([3]), 3)
+
+
+class TestOutcome:
+    def test_base_rates_hit_without_noise(self):
+        sampler = LatentFactorSampler(0)
+        q = sampler.rng.normal(size=4000)
+        s = (sampler.rng.random(4000) < 0.5).astype(float)
+        y = sampler.outcome_by_group_rate(q, s, 0.3, 0.6, label_noise=0.0)
+        assert y[s == 1].mean() == pytest.approx(0.3, abs=0.03)
+        assert y[s == 0].mean() == pytest.approx(0.6, abs=0.03)
+
+    def test_outcome_correlates_with_qualification(self):
+        sampler = LatentFactorSampler(0)
+        q = sampler.rng.normal(size=2000)
+        s = np.zeros(2000)
+        y = sampler.outcome_by_group_rate(q, s, 0.5, 0.5, label_noise=0.0)
+        assert q[y == 1].mean() > q[y == 0].mean() + 0.5
+
+    def test_invalid_rates(self, sampler):
+        q = np.zeros(10)
+        s = np.zeros(10)
+        with pytest.raises(ValidationError):
+            sampler.outcome_by_group_rate(q, s, 0.0, 0.5)
+        with pytest.raises(ValidationError):
+            sampler.outcome_by_group_rate(q, s, 0.5, 0.5, label_noise=0.6)

@@ -1,0 +1,84 @@
+"""Tests for repro.metrics.group."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.group import (
+    equal_opportunity,
+    protected_share_at_k,
+    statistical_parity,
+)
+
+
+class TestStatisticalParity:
+    def test_equal_rates_perfect(self):
+        y_hat = [1, 0, 1, 0]
+        protected = [1, 1, 0, 0]
+        assert statistical_parity(y_hat, protected) == 1.0
+
+    def test_maximal_gap(self):
+        y_hat = [1, 1, 0, 0]
+        protected = [1, 1, 0, 0]
+        assert statistical_parity(y_hat, protected) == 0.0
+
+    def test_known_partial_gap(self):
+        y_hat = [1, 0, 1, 1]  # protected rate 0.5, unprotected rate 1.0
+        protected = [1, 1, 0, 0]
+        assert statistical_parity(y_hat, protected) == pytest.approx(0.5)
+
+    def test_accepts_probabilities(self):
+        out = statistical_parity([0.8, 0.6, 0.7, 0.7], [1, 1, 0, 0])
+        assert out == pytest.approx(1.0)
+
+    def test_single_group_raises(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            statistical_parity([1, 0], [1, 1])
+
+
+class TestEqualOpportunity:
+    def test_equal_tpr_perfect(self):
+        y_true = [1, 1, 1, 1]
+        y_hat = [1, 0, 1, 0]
+        protected = [1, 1, 0, 0]
+        assert equal_opportunity(y_true, y_hat, protected) == 1.0
+
+    def test_tpr_gap(self):
+        y_true = [1, 1, 1, 1]
+        y_hat = [1, 1, 0, 0]  # protected TPR 1, unprotected TPR 0
+        protected = [1, 1, 0, 0]
+        assert equal_opportunity(y_true, y_hat, protected) == 0.0
+
+    def test_only_positives_count(self):
+        y_true = [1, 0, 1, 0]
+        y_hat = [1, 1, 1, 1]  # false positives do not affect EqOpp
+        protected = [1, 1, 0, 0]
+        assert equal_opportunity(y_true, y_hat, protected) == 1.0
+
+    def test_group_without_positives_raises(self):
+        y_true = [1, 1, 0, 0]
+        y_hat = [1, 1, 0, 0]
+        protected = [1, 1, 0, 0]  # unprotected group has no positives
+        with pytest.raises(ValidationError, match="no positive"):
+            equal_opportunity(y_true, y_hat, protected)
+
+
+class TestProtectedShareAtK:
+    def test_counts_topk_only(self):
+        protected = [1, 1, 0, 0, 0]
+        ranking = [0, 2, 3, 1, 4]
+        assert protected_share_at_k(ranking, protected, k=2) == pytest.approx(0.5)
+
+    def test_all_protected(self):
+        assert protected_share_at_k([0, 1], [1, 1], k=2) == 1.0
+
+    def test_k_longer_than_ranking_uses_everything(self):
+        assert protected_share_at_k([0, 1], [1, 0], k=10) == pytest.approx(0.5)
+
+    def test_out_of_range_item_raises(self):
+        with pytest.raises(ValidationError):
+            protected_share_at_k([5], [1, 0], k=1)
+
+    def test_empty_ranking_raises(self):
+        with pytest.raises(ValidationError):
+            protected_share_at_k([], [1, 0], k=1)

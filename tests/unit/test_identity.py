@@ -1,0 +1,54 @@
+"""Tests for repro.baselines.identity."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.identity import FullData, MaskedData, mask_columns
+
+
+class TestFullData:
+    def test_identity(self, small_matrix):
+        out = FullData().fit_transform(small_matrix)
+        np.testing.assert_array_equal(out, small_matrix)
+
+    def test_returns_copy(self, small_matrix):
+        out = FullData().fit_transform(small_matrix)
+        out[0, 0] = 999.0
+        assert small_matrix[0, 0] != 999.0
+
+
+class TestMaskedData:
+    def test_zeroes_protected_columns(self, small_matrix):
+        out = MaskedData().fit_transform(small_matrix, [1, 3])
+        np.testing.assert_array_equal(out[:, 1], 0.0)
+        np.testing.assert_array_equal(out[:, 3], 0.0)
+
+    def test_preserves_other_columns(self, small_matrix):
+        out = MaskedData().fit_transform(small_matrix, [1])
+        np.testing.assert_array_equal(out[:, 0], small_matrix[:, 0])
+        np.testing.assert_array_equal(out[:, 2], small_matrix[:, 2])
+
+    def test_empty_protected_is_identity(self, small_matrix):
+        out = MaskedData().fit_transform(small_matrix, [])
+        np.testing.assert_array_equal(out, small_matrix)
+
+    def test_transform_before_fit_raises(self, small_matrix):
+        with pytest.raises(RuntimeError):
+            MaskedData().transform(small_matrix)
+
+    def test_masks_new_data_with_fit_indices(self, small_matrix, rng):
+        masker = MaskedData().fit(small_matrix, [0])
+        new = rng.normal(size=(3, small_matrix.shape[1]))
+        out = masker.transform(new)
+        np.testing.assert_array_equal(out[:, 0], 0.0)
+
+
+class TestMaskColumns:
+    def test_functional_form(self, small_matrix):
+        out = mask_columns(small_matrix, [2])
+        np.testing.assert_array_equal(out[:, 2], 0.0)
+
+    def test_original_untouched(self, small_matrix):
+        before = small_matrix.copy()
+        mask_columns(small_matrix, [2])
+        np.testing.assert_array_equal(small_matrix, before)

@@ -1,0 +1,155 @@
+"""Tests for repro.core.model (the IFair estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import IFair
+from repro.exceptions import NotFittedError, ValidationError
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.normal(size=(40, 5))
+    X[:, 4] = (rng.random(40) > 0.5).astype(float)  # protected column
+    return X
+
+
+def _fit(X, **kwargs):
+    defaults = dict(
+        n_prototypes=3, n_restarts=1, max_iter=40, random_state=0, max_pairs=300
+    )
+    defaults.update(kwargs)
+    return IFair(**defaults).fit(X, [4])
+
+
+class TestFit:
+    def test_fit_reduces_loss_vs_init(self, data):
+        model = _fit(data)
+        assert np.isfinite(model.loss_)
+        assert model.prototypes_.shape == (3, 5)
+        assert model.alpha_.shape == (5,)
+
+    def test_alpha_nonnegative(self, data):
+        model = _fit(data)
+        assert np.all(model.alpha_ >= 0.0)
+
+    def test_restart_records(self, data):
+        model = _fit(data, n_restarts=2)
+        assert len(model.restarts_) == 2
+        assert model.loss_ == pytest.approx(min(r.loss for r in model.restarts_))
+
+    def test_deterministic_given_seed(self, data):
+        a = _fit(data, random_state=5)
+        b = _fit(data, random_state=5)
+        np.testing.assert_allclose(a.prototypes_, b.prototypes_)
+        np.testing.assert_allclose(a.alpha_, b.alpha_)
+
+    def test_different_seeds_differ(self, data):
+        a = _fit(data, random_state=1)
+        b = _fit(data, random_state=2)
+        assert not np.allclose(a.prototypes_, b.prototypes_)
+
+    def test_protected_zero_init_keeps_protected_weight_small(self, data):
+        model = _fit(data, init="protected_zero", max_iter=30)
+        nonprot_mean = model.alpha_[:4].mean()
+        # The protected weight starts near zero and has little gradient
+        # pressure; it should stay well below the others on average.
+        assert model.alpha_[4] < nonprot_mean
+
+    def test_fit_without_protected(self, rng):
+        X = rng.normal(size=(30, 4))
+        model = IFair(
+            n_prototypes=2, n_restarts=1, max_iter=20, random_state=0
+        ).fit(X)
+        assert model.transform(X).shape == X.shape
+
+    def test_invalid_init_rejected(self):
+        with pytest.raises(ValidationError):
+            IFair(init="bogus")
+
+    def test_invalid_restarts_rejected(self):
+        with pytest.raises(ValidationError):
+            IFair(n_restarts=0)
+
+    def test_invalid_protected_alpha_init(self):
+        with pytest.raises(ValidationError):
+            IFair(protected_alpha_init=0.0)
+
+
+class TestTransform:
+    def test_transform_before_fit_raises(self, data):
+        with pytest.raises(NotFittedError):
+            IFair().transform(data)
+
+    def test_output_shape(self, data):
+        model = _fit(data)
+        assert model.transform(data).shape == data.shape
+
+    def test_memberships_simplex(self, data):
+        model = _fit(data)
+        U = model.memberships(data)
+        np.testing.assert_allclose(U.sum(axis=1), 1.0)
+        assert np.all(U >= 0)
+
+    def test_new_records_transformable(self, data, rng):
+        model = _fit(data)
+        X_new = rng.normal(size=(7, 5))
+        assert model.transform(X_new).shape == (7, 5)
+
+    def test_feature_mismatch_raises(self, data):
+        model = _fit(data)
+        with pytest.raises(ValidationError):
+            model.transform(np.zeros((3, 7)))
+
+    def test_transform_in_prototype_hull(self, data):
+        model = _fit(data)
+        Z = model.transform(data)
+        lo = model.prototypes_.min(axis=0) - 1e-9
+        hi = model.prototypes_.max(axis=0) + 1e-9
+        assert np.all(Z >= lo) and np.all(Z <= hi)
+
+    def test_reconstruction_error_finite(self, data):
+        model = _fit(data)
+        err = model.reconstruction_error(data)
+        assert np.isfinite(err) and err >= 0.0
+
+
+class TestBehaviour:
+    def test_protected_flip_barely_moves_representation(self, rng):
+        """The paper's core property: flipping the protected attribute of
+        a record (iFair-b) leaves its representation nearly unchanged."""
+        X = rng.normal(size=(50, 4))
+        X[:, 3] = (rng.random(50) > 0.5).astype(float)
+        model = IFair(
+            n_prototypes=3,
+            mu_fair=1.0,
+            init="protected_zero",
+            n_restarts=1,
+            max_iter=60,
+            random_state=0,
+            max_pairs=400,
+        ).fit(X, [3])
+        X_flip = X.copy()
+        X_flip[:, 3] = 1.0 - X_flip[:, 3]
+        Z = model.transform(X)
+        Z_flip = model.transform(X_flip)
+        base_scale = float(np.mean(Z**2)) + 1e-12
+        drift = float(np.mean((Z - Z_flip) ** 2))
+        assert drift / base_scale < 0.05
+
+    def test_higher_lambda_improves_reconstruction(self, rng):
+        X = rng.normal(size=(40, 4))
+        lo = IFair(
+            n_prototypes=3, lambda_util=0.01, mu_fair=1.0,
+            n_restarts=1, max_iter=60, random_state=0, max_pairs=300,
+        ).fit(X)
+        hi = IFair(
+            n_prototypes=3, lambda_util=100.0, mu_fair=1.0,
+            n_restarts=1, max_iter=60, random_state=0, max_pairs=300,
+        ).fit(X)
+        assert hi.reconstruction_error(X) <= lo.reconstruction_error(X) + 1e-6
+
+    def test_repr_mentions_key_params(self):
+        text = repr(IFair(n_prototypes=7, mu_fair=2.0))
+        assert "n_prototypes=7" in text
+        assert "mu_fair=2.0" in text

@@ -1,0 +1,62 @@
+"""Tests for repro.metrics.individual (consistency yNN)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.individual import consistency, consistency_of_scores
+
+
+class TestConsistency:
+    def test_constant_outcomes_perfectly_consistent(self, rng):
+        X = rng.normal(size=(30, 3))
+        assert consistency(X, np.ones(30), k=5) == 1.0
+
+    def test_cluster_separated_outcomes(self, rng):
+        # Two tight clusters far apart, each with a uniform label:
+        # neighbours always agree.
+        X = np.vstack([rng.normal(size=(15, 2)), rng.normal(size=(15, 2)) + 100.0])
+        y = np.concatenate([np.zeros(15), np.ones(15)])
+        assert consistency(X, y, k=5) == 1.0
+
+    def test_checkerboard_outcomes_inconsistent(self, rng):
+        # Labels independent of position: consistency ~ 1 - 2 p (1-p).
+        X = rng.normal(size=(200, 2))
+        y = (rng.random(200) > 0.5).astype(float)
+        c = consistency(X, y, k=10)
+        assert c == pytest.approx(0.5, abs=0.1)
+
+    def test_probability_outcomes_supported(self, rng):
+        X = rng.normal(size=(30, 2))
+        probs = rng.random(30)
+        c = consistency(X, probs, k=5)
+        assert 0.0 <= c <= 1.0
+
+    def test_k_must_be_smaller_than_n(self, rng):
+        X = rng.normal(size=(5, 2))
+        with pytest.raises(ValidationError):
+            consistency(X, np.zeros(5), k=5)
+
+    def test_higher_for_smooth_outcomes(self, rng):
+        X = rng.uniform(size=(100, 1))
+        smooth = X[:, 0]  # outcome = position
+        rough = rng.random(100)
+        assert consistency(X, smooth, k=5) > consistency(X, rough, k=5)
+
+
+class TestConsistencyOfScores:
+    def test_scale_invariance(self, rng):
+        X = rng.normal(size=(40, 3))
+        scores = rng.normal(size=40)
+        a = consistency_of_scores(X, scores, k=5)
+        b = consistency_of_scores(X, scores * 1000.0 + 5.0, k=5)
+        assert a == pytest.approx(b)
+
+    def test_constant_scores(self, rng):
+        X = rng.normal(size=(20, 2))
+        assert consistency_of_scores(X, np.full(20, 7.0), k=3) == 1.0
+
+    def test_bounded(self, rng):
+        X = rng.normal(size=(25, 2))
+        c = consistency_of_scores(X, rng.normal(size=25), k=4)
+        assert 0.0 <= c <= 1.0

@@ -1,0 +1,115 @@
+"""Tests for repro.baselines.kmeans."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import KMeansRepresentation, kmeans
+from repro.exceptions import NotFittedError, ValidationError
+
+
+@pytest.fixture
+def three_blobs(rng):
+    """Three well-separated clusters."""
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    X = np.vstack([center + 0.3 * rng.normal(size=(20, 2)) for center in centers])
+    labels = np.repeat([0, 1, 2], 20)
+    return X, labels
+
+
+class TestKmeans:
+    def test_recovers_separated_clusters(self, three_blobs):
+        X, true_labels = three_blobs
+        _, labels, _ = kmeans(X, 3, random_state=0)
+        # Same partition up to label permutation: every true cluster maps
+        # to exactly one predicted cluster.
+        for value in range(3):
+            assert np.unique(labels[true_labels == value]).size == 1
+
+    def test_centroids_near_truth(self, three_blobs):
+        X, _ = three_blobs
+        centroids, _, _ = kmeans(X, 3, random_state=0)
+        expected = np.array([[0.0, 0.0], [0.0, 10.0], [10.0, 0.0]])
+        for center in expected:
+            distances = np.linalg.norm(centroids - center, axis=1)
+            assert distances.min() < 0.5
+
+    def test_inertia_decreases_with_k(self, three_blobs):
+        X, _ = three_blobs
+        inertias = [kmeans(X, k, random_state=0)[2] for k in (1, 2, 3)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_k_equals_n_zero_inertia(self, rng):
+        X = rng.normal(size=(6, 2))
+        _, _, inertia = kmeans(X, 6, random_state=0)
+        assert inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_labels_valid(self, three_blobs):
+        X, _ = three_blobs
+        _, labels, _ = kmeans(X, 4, random_state=0)
+        assert labels.min() >= 0 and labels.max() < 4
+
+    def test_deterministic_given_seed(self, three_blobs):
+        X, _ = three_blobs
+        a = kmeans(X, 3, random_state=5)
+        b = kmeans(X, 3, random_state=5)
+        np.testing.assert_allclose(a[0], b[0])
+
+    def test_invalid_k(self, rng):
+        X = rng.normal(size=(5, 2))
+        with pytest.raises(ValidationError):
+            kmeans(X, 0)
+        with pytest.raises(ValidationError):
+            kmeans(X, 6)
+
+
+class TestKMeansRepresentation:
+    def test_transform_returns_centroids(self, three_blobs):
+        X, _ = three_blobs
+        rep = KMeansRepresentation(n_clusters=3, random_state=0).fit(X)
+        Z = rep.transform(X)
+        # Every row of Z is one of the centroids.
+        for row in Z:
+            assert any(np.allclose(row, c) for c in rep.centroids_)
+
+    def test_masks_protected_column(self, rng):
+        # Group column is the only difference between two blobs; masked
+        # clustering must ignore it entirely.
+        n = 40
+        s = np.repeat([0.0, 1.0], n // 2)
+        X = np.column_stack([rng.normal(size=n), s * 100.0])
+        rep = KMeansRepresentation(n_clusters=2, random_state=0).fit(X, [1])
+        assign = rep.predict(X)
+        X_flipped = X.copy()
+        X_flipped[:, 1] = 100.0 - X_flipped[:, 1]
+        np.testing.assert_array_equal(assign, rep.predict(X_flipped))
+
+    def test_clusters_capped_at_n(self, rng):
+        X = rng.normal(size=(4, 2))
+        rep = KMeansRepresentation(n_clusters=10, random_state=0).fit(X)
+        assert rep.centroids_.shape[0] == 4
+
+    def test_not_fitted(self, rng):
+        with pytest.raises(NotFittedError):
+            KMeansRepresentation().transform(rng.normal(size=(3, 2)))
+
+    def test_feature_mismatch(self, three_blobs, rng):
+        X, _ = three_blobs
+        rep = KMeansRepresentation(n_clusters=2, random_state=0).fit(X)
+        with pytest.raises(ValidationError):
+            rep.transform(rng.normal(size=(3, 5)))
+
+    def test_loses_more_utility_than_ifair(self, rng):
+        """The paper's intro claim: hard clustering of masked data loses
+        more information than iFair's soft prototype mixture."""
+        from repro.core.model import IFair
+
+        X = rng.normal(size=(60, 6))
+        X[:, 5] = (rng.random(60) > 0.5).astype(float)
+        hard = KMeansRepresentation(n_clusters=4, random_state=0).fit(X, [5])
+        soft = IFair(
+            n_prototypes=4, lambda_util=10.0, mu_fair=0.1,
+            n_restarts=1, max_iter=60, random_state=0, max_pairs=500,
+        ).fit(X, [5])
+        err_hard = float(np.mean((X - hard.transform(X)) ** 2))
+        err_soft = soft.reconstruction_error(X)
+        assert err_soft < err_hard

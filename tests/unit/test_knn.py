@@ -1,0 +1,70 @@
+"""Tests for repro.learners.knn."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learners.knn import KNearestNeighbors
+from repro.utils.mathkit import pairwise_sq_euclidean
+
+
+class TestKNearestNeighbors:
+    def test_matches_bruteforce_argsort(self, rng):
+        X = rng.normal(size=(30, 4))
+        Q = rng.normal(size=(10, 4))
+        got = KNearestNeighbors(k=5).fit(X).kneighbors(Q)
+        D = pairwise_sq_euclidean(Q, X)
+        want = np.argsort(D, axis=1, kind="stable")[:, :5]
+        # Compare as sets per row (ties may reorder equals).
+        for g, w in zip(got, want):
+            assert set(g) == set(w)
+
+    def test_first_neighbour_is_nearest(self, rng):
+        X = rng.normal(size=(25, 3))
+        Q = rng.normal(size=(6, 3))
+        idx = KNearestNeighbors(k=3).fit(X).kneighbors(Q)
+        D = pairwise_sq_euclidean(Q, X)
+        np.testing.assert_array_equal(idx[:, 0], np.argmin(D, axis=1))
+
+    def test_exclude_self(self, rng):
+        X = rng.normal(size=(15, 3))
+        idx = KNearestNeighbors(k=4).fit(X).kneighbors(exclude_self=True)
+        for i, row in enumerate(idx):
+            assert i not in row
+
+    def test_self_is_nearest_without_exclusion(self, rng):
+        X = rng.normal(size=(12, 3))
+        idx = KNearestNeighbors(k=2).fit(X).kneighbors()
+        np.testing.assert_array_equal(idx[:, 0], np.arange(12))
+
+    def test_sorted_by_distance(self, rng):
+        X = rng.normal(size=(20, 2))
+        Q = rng.normal(size=(5, 2))
+        idx = KNearestNeighbors(k=6).fit(X).kneighbors(Q)
+        D = pairwise_sq_euclidean(Q, X)
+        for qi, row in enumerate(idx):
+            dists = D[qi, row]
+            assert np.all(np.diff(dists) >= -1e-12)
+
+    def test_k_too_large_raises(self, rng):
+        knn = KNearestNeighbors(k=10).fit(rng.normal(size=(5, 2)))
+        with pytest.raises(ValidationError, match="neighbours"):
+            knn.kneighbors()
+
+    def test_exclude_self_needs_self_query(self, rng):
+        knn = KNearestNeighbors(k=2).fit(rng.normal(size=(10, 2)))
+        with pytest.raises(ValidationError):
+            knn.kneighbors(rng.normal(size=(4, 2)), exclude_self=True)
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            KNearestNeighbors().kneighbors()
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValidationError):
+            KNearestNeighbors(k=0)
+
+    def test_feature_mismatch_rejected(self, rng):
+        knn = KNearestNeighbors(k=1).fit(rng.normal(size=(5, 3)))
+        with pytest.raises(ValidationError):
+            knn.kneighbors(rng.normal(size=(2, 4)))

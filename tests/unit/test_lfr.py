@@ -1,0 +1,126 @@
+"""Tests for repro.baselines.lfr."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lfr import LFR, LFRObjective
+from repro.exceptions import NotFittedError, ValidationError
+
+
+@pytest.fixture
+def lfr_data(rng):
+    X = rng.normal(size=(40, 4))
+    y = (X[:, 0] + 0.3 * rng.normal(size=40) > 0).astype(float)
+    s = (rng.random(40) > 0.5).astype(float)
+    return X, y, s
+
+
+class TestLFRObjective:
+    def test_param_count(self, lfr_data):
+        X, y, s = lfr_data
+        obj = LFRObjective(X, y, s, n_prototypes=3)
+        assert obj.n_params == 3 * 4 + 4 + 3
+
+    def test_pack_unpack_roundtrip(self, lfr_data, rng):
+        X, y, s = lfr_data
+        obj = LFRObjective(X, y, s, n_prototypes=3)
+        V = rng.normal(size=(3, 4))
+        alpha = rng.uniform(size=4)
+        w = rng.uniform(size=3)
+        V2, a2, w2 = obj.unpack(obj.pack(V, alpha, w))
+        np.testing.assert_allclose(V, V2)
+        np.testing.assert_allclose(alpha, a2)
+        np.testing.assert_allclose(w, w2)
+
+    def test_components_nonnegative(self, lfr_data, rng):
+        X, y, s = lfr_data
+        obj = LFRObjective(X, y, s, n_prototypes=3)
+        theta = rng.uniform(0.2, 0.8, size=obj.n_params)
+        l_x, l_y, l_z = obj.forward(theta)
+        assert l_x >= 0 and l_y >= 0 and l_z >= 0
+
+    def test_loss_weighting(self, lfr_data, rng):
+        X, y, s = lfr_data
+        obj = LFRObjective(X, y, s, a_x=2.0, a_y=3.0, a_z=4.0, n_prototypes=2)
+        theta = rng.uniform(0.2, 0.8, size=obj.n_params)
+        l_x, l_y, l_z = obj.forward(theta)
+        assert obj.loss(theta) == pytest.approx(2 * l_x + 3 * l_y + 4 * l_z)
+
+    def test_single_group_rejected(self, rng):
+        X = rng.normal(size=(10, 3))
+        y = (rng.random(10) > 0.5).astype(float)
+        with pytest.raises(ValidationError, match="protected and unprotected"):
+            LFRObjective(X, y, np.ones(10), n_prototypes=2)
+
+    def test_negative_weights_rejected(self, lfr_data):
+        X, y, s = lfr_data
+        with pytest.raises(ValidationError):
+            LFRObjective(X, y, s, a_x=-1.0)
+
+
+class TestLFREstimator:
+    def test_fit_produces_parameters(self, lfr_data):
+        X, y, s = lfr_data
+        model = LFR(n_prototypes=3, n_restarts=1, max_iter=40, random_state=0)
+        model.fit(X, y, s)
+        assert model.prototypes_.shape == (3, 4)
+        assert model.label_weights_.shape == (3,)
+        assert np.all((model.label_weights_ >= 0) & (model.label_weights_ <= 1))
+
+    def test_transform_shape(self, lfr_data):
+        X, y, s = lfr_data
+        model = LFR(n_prototypes=3, n_restarts=1, max_iter=40, random_state=0)
+        assert model.fit(X, y, s).transform(X).shape == X.shape
+
+    def test_predict_proba_in_range(self, lfr_data):
+        X, y, s = lfr_data
+        model = LFR(n_prototypes=3, n_restarts=1, max_iter=40, random_state=0)
+        p = model.fit(X, y, s).predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_classifier_learns_signal(self, lfr_data):
+        X, y, s = lfr_data
+        model = LFR(
+            n_prototypes=5, a_x=0.01, a_y=1.0, a_z=0.0,
+            n_restarts=2, max_iter=150, random_state=0,
+        )
+        acc = np.mean(model.fit(X, y, s).predict(X) == y)
+        assert acc > 0.7
+
+    def test_parity_term_reduces_group_gap(self, rng):
+        # Group-correlated feature; with a_z high, cluster occupancy
+        # (and hence predictions) should depend less on the group.
+        n = 80
+        s = (rng.random(n) > 0.5).astype(float)
+        X = np.column_stack([s + 0.3 * rng.normal(size=n), rng.normal(size=n)])
+        y = (rng.random(n) < 0.3 + 0.4 * s).astype(float)
+        fair = LFR(n_prototypes=4, a_z=10.0, n_restarts=1, max_iter=80, random_state=0)
+        unfair = LFR(n_prototypes=4, a_z=0.0, n_restarts=1, max_iter=80, random_state=0)
+        gap_of = lambda m: abs(
+            m.fit(X, y, s).predict_proba(X)[s == 1].mean()
+            - m.predict_proba(X)[s == 0].mean()
+        )
+        assert gap_of(fair) <= gap_of(unfair) + 0.05
+
+    def test_restart_bookkeeping(self, lfr_data):
+        X, y, s = lfr_data
+        model = LFR(n_prototypes=2, n_restarts=3, max_iter=20, random_state=0)
+        model.fit(X, y, s)
+        assert len(model.restarts_) == 3
+        assert model.loss_ == pytest.approx(min(r.loss for r in model.restarts_))
+
+    def test_use_before_fit_raises(self, lfr_data):
+        X, _, _ = lfr_data
+        with pytest.raises(NotFittedError):
+            LFR().transform(X)
+
+    def test_feature_mismatch_raises(self, lfr_data):
+        X, y, s = lfr_data
+        model = LFR(n_prototypes=2, n_restarts=1, max_iter=10, random_state=0)
+        model.fit(X, y, s)
+        with pytest.raises(ValidationError):
+            model.transform(np.zeros((2, 9)))
+
+    def test_bad_restarts_rejected(self):
+        with pytest.raises(ValidationError):
+            LFR(n_restarts=0)

@@ -1,0 +1,73 @@
+"""Tests for repro.learners.linear."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learners.linear import LinearRegression, RidgeRegression
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_map(self, rng):
+        X = rng.normal(size=(50, 3))
+        w = np.array([2.0, -1.0, 0.5])
+        y = X @ w + 3.0
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.coef_, w, atol=1e-8)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-8)
+
+    def test_predictions_match_targets_noiseless(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = X @ np.array([1.0, 2.0]) - 1.0
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-8)
+
+    def test_handles_rank_deficient_via_lstsq(self, rng):
+        X = rng.normal(size=(20, 2))
+        X = np.hstack([X, X[:, :1]])  # duplicated column
+        y = X[:, 0] + 1.0
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-6)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict([[1.0]])
+
+    def test_feature_mismatch_raises(self, rng):
+        model = LinearRegression().fit(rng.normal(size=(10, 2)), rng.normal(size=10))
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((2, 3)))
+
+
+class TestRidgeRegression:
+    def test_matches_ols_when_l2_tiny(self, rng):
+        X = rng.normal(size=(60, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 0.3
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(l2=1e-10).fit(X, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-6)
+
+    def test_shrinkage_with_large_l2(self, rng):
+        X = rng.normal(size=(40, 3))
+        y = X @ np.array([1.0, 1.0, 1.0])
+        small = RidgeRegression(l2=0.01).fit(X, y)
+        large = RidgeRegression(l2=1000.0).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_intercept_not_penalised(self, rng):
+        # Shifted targets: intercept must absorb the shift even with huge l2.
+        X = rng.normal(size=(80, 2))
+        y = X @ np.array([0.5, 0.5]) + 100.0
+        model = RidgeRegression(l2=1e6).fit(X, y)
+        assert model.predict(X).mean() == pytest.approx(y.mean(), abs=1.0)
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValidationError):
+            RidgeRegression(l2=-0.5)
+
+    def test_solves_collinear_design(self, rng):
+        X = rng.normal(size=(20, 2))
+        X = np.hstack([X, X])  # perfectly collinear
+        y = rng.normal(size=20)
+        model = RidgeRegression(l2=1.0).fit(X, y)  # must not raise
+        assert np.all(np.isfinite(model.predict(X)))

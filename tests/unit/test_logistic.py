@@ -1,0 +1,76 @@
+"""Tests for repro.learners.logistic."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learners.logistic import LogisticRegression
+
+
+def _separable(rng, n=100):
+    """Linearly separable 2-D data with a known direction."""
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(np.float64)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self, rng):
+        X, y = _separable(rng)
+        clf = LogisticRegression(l2=0.01).fit(X, y)
+        assert np.mean(clf.predict(X) == y) > 0.95
+
+    def test_probabilities_in_range(self, rng):
+        X, y = _separable(rng)
+        p = LogisticRegression().fit(X, y).predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_coefficient_direction(self, rng):
+        X, y = _separable(rng)
+        clf = LogisticRegression(l2=0.01).fit(X, y)
+        assert clf.coef_[0] > 0
+        assert clf.coef_[1] > 0
+
+    def test_regularisation_shrinks_weights(self, rng):
+        X, y = _separable(rng)
+        loose = LogisticRegression(l2=0.001).fit(X, y)
+        tight = LogisticRegression(l2=100.0).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_intercept_captures_base_rate(self, rng):
+        # Pure-noise features: prediction should fall back to base rate.
+        X = rng.normal(size=(400, 3))
+        y = (rng.random(400) < 0.8).astype(np.float64)
+        clf = LogisticRegression(l2=10.0).fit(X, y)
+        assert np.mean(clf.predict_proba(X)) == pytest.approx(0.8, abs=0.07)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict_proba([[1.0, 2.0]])
+
+    def test_wrong_feature_count_raises(self, rng):
+        X, y = _separable(rng)
+        clf = LogisticRegression().fit(X, y)
+        with pytest.raises(ValidationError, match="features"):
+            clf.predict_proba(np.zeros((2, 5)))
+
+    def test_nonbinary_labels_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(rng.normal(size=(5, 2)), [0, 1, 2, 0, 1])
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression(l2=-1.0)
+
+    def test_threshold_parameter(self, rng):
+        X, y = _separable(rng)
+        clf = LogisticRegression().fit(X, y)
+        strict = clf.predict(X, threshold=0.9)
+        loose = clf.predict(X, threshold=0.1)
+        assert strict.sum() <= loose.sum()
+
+    def test_deterministic_refit(self, rng):
+        X, y = _separable(rng)
+        a = LogisticRegression().fit(X, y).coef_
+        b = LogisticRegression().fit(X, y).coef_
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,127 @@
+"""Tests for repro.utils.mathkit."""
+
+import numpy as np
+import pytest
+
+from repro.utils.mathkit import (
+    harmonic_mean,
+    log_sum_exp,
+    pairwise_sq_euclidean,
+    sigmoid,
+    softmax,
+    weighted_minkowski_to_prototypes,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        S = softmax(rng.normal(size=(5, 4)), axis=1)
+        np.testing.assert_allclose(S.sum(axis=1), 1.0)
+
+    def test_nonnegative(self, rng):
+        assert np.all(softmax(rng.normal(size=(5, 4))) >= 0)
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+    def test_extreme_values_stable(self):
+        out = softmax(np.array([[1000.0, 0.0], [-1000.0, 0.0]]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[0], [1.0, 0.0], atol=1e-12)
+
+    def test_uniform_input_gives_uniform_output(self):
+        np.testing.assert_allclose(softmax(np.zeros((1, 4))), 0.25)
+
+
+class TestLogSumExp:
+    def test_matches_naive_on_small_values(self, rng):
+        x = rng.normal(size=(6, 3))
+        np.testing.assert_allclose(
+            log_sum_exp(x, axis=1), np.log(np.exp(x).sum(axis=1))
+        )
+
+    def test_stable_for_large_values(self):
+        out = log_sum_exp(np.array([1000.0, 1000.0]))
+        np.testing.assert_allclose(out, 1000.0 + np.log(2.0))
+
+
+class TestSigmoid:
+    def test_range(self, rng):
+        out = sigmoid(rng.normal(size=100) * 50)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_symmetry(self, rng):
+        z = rng.normal(size=20)
+        np.testing.assert_allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+    def test_at_zero(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_no_overflow(self):
+        out = sigmoid(np.array([-1e4, 1e4]))
+        assert np.all(np.isfinite(out))
+
+
+class TestPairwiseSqEuclidean:
+    def test_matches_naive(self, rng):
+        A = rng.normal(size=(7, 4))
+        B = rng.normal(size=(5, 4))
+        D = pairwise_sq_euclidean(A, B)
+        for i in range(7):
+            for j in range(5):
+                assert D[i, j] == pytest.approx(np.sum((A[i] - B[j]) ** 2))
+
+    def test_self_distance_zero_diagonal(self, rng):
+        A = rng.normal(size=(6, 3))
+        D = pairwise_sq_euclidean(A)
+        np.testing.assert_allclose(np.diag(D), 0.0, atol=1e-10)
+
+    def test_nonnegative_despite_cancellation(self, rng):
+        A = rng.normal(size=(10, 3)) * 1e6
+        assert np.all(pairwise_sq_euclidean(A) >= 0.0)
+
+
+class TestWeightedMinkowski:
+    def test_p2_matches_weighted_sq_euclidean(self, rng):
+        X = rng.normal(size=(6, 4))
+        V = rng.normal(size=(3, 4))
+        alpha = rng.uniform(0.1, 1.0, size=4)
+        d = weighted_minkowski_to_prototypes(X, V, alpha, p=2.0)
+        naive = np.array(
+            [[np.sum(alpha * (x - v) ** 2) for v in V] for x in X]
+        )
+        np.testing.assert_allclose(d, naive)
+
+    def test_p1_matches_weighted_manhattan(self, rng):
+        X = rng.normal(size=(4, 3))
+        V = rng.normal(size=(2, 3))
+        alpha = rng.uniform(0.1, 1.0, size=3)
+        d = weighted_minkowski_to_prototypes(X, V, alpha, p=1.0)
+        naive = np.array(
+            [[np.sum(alpha * np.abs(x - v)) for v in V] for x in X]
+        )
+        np.testing.assert_allclose(d, naive)
+
+    def test_root_applies_power(self, rng):
+        X = rng.normal(size=(3, 2))
+        V = rng.normal(size=(2, 2))
+        alpha = np.ones(2)
+        d_raw = weighted_minkowski_to_prototypes(X, V, alpha, p=2.0, root=False)
+        d_root = weighted_minkowski_to_prototypes(X, V, alpha, p=2.0, root=True)
+        np.testing.assert_allclose(d_root, np.sqrt(d_raw))
+
+
+class TestHarmonicMean:
+    def test_equal_inputs(self):
+        assert harmonic_mean(0.5, 0.5) == pytest.approx(0.5)
+
+    def test_zero_dominates(self):
+        assert harmonic_mean(0.0, 1.0) == 0.0
+        assert harmonic_mean(1.0, 0.0) == 0.0
+
+    def test_known_value(self):
+        assert harmonic_mean(1.0, 0.5) == pytest.approx(2.0 / 3.0)
+
+    def test_below_arithmetic_mean(self):
+        assert harmonic_mean(0.9, 0.3) < 0.6

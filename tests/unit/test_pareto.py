@@ -1,0 +1,67 @@
+"""Tests for repro.core.pareto."""
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import is_dominated, pareto_front
+from repro.exceptions import ValidationError
+
+
+class TestIsDominated:
+    def test_strictly_worse_point(self):
+        assert is_dominated([0.1, 0.1], [[0.5, 0.5]])
+
+    def test_equal_point_not_dominated(self):
+        assert not is_dominated([0.5, 0.5], [[0.5, 0.5]])
+
+    def test_tradeoff_not_dominated(self):
+        assert not is_dominated([0.9, 0.1], [[0.1, 0.9]])
+
+    def test_dominated_in_one_axis_only(self):
+        # Better on axis 0, equal on axis 1 -> dominates.
+        assert is_dominated([0.5, 0.5], [[0.6, 0.5]])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            is_dominated([1.0], [[1.0, 2.0]])
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        assert pareto_front([[1.0, 1.0]]) == [0]
+
+    def test_chain_keeps_only_maximum(self):
+        pts = [[1, 1], [2, 2], [3, 3]]
+        assert pareto_front(pts) == [2]
+
+    def test_anti_chain_keeps_everything(self):
+        pts = [[3, 1], [2, 2], [1, 3]]
+        assert sorted(pareto_front(pts)) == [0, 1, 2]
+
+    def test_mixed(self):
+        pts = [[0.9, 0.1], [0.5, 0.5], [0.1, 0.9], [0.4, 0.4]]
+        assert sorted(pareto_front(pts)) == [0, 1, 2]
+
+    def test_duplicates_all_kept(self):
+        pts = [[1.0, 1.0], [1.0, 1.0], [0.0, 0.0]]
+        assert sorted(pareto_front(pts)) == [0, 1]
+
+    def test_front_points_not_dominated(self, rng):
+        pts = rng.random((30, 2))
+        front = pareto_front(pts)
+        for i in front:
+            others = np.delete(pts, i, axis=0)
+            assert not is_dominated(pts[i], others)
+
+    def test_non_front_points_dominated(self, rng):
+        pts = rng.random((30, 2))
+        front = set(pareto_front(pts))
+        for i in range(30):
+            if i not in front:
+                assert is_dominated(pts[i], pts[list(front)])
+
+    def test_sorted_by_first_objective_descending(self, rng):
+        pts = rng.random((20, 2))
+        front = pareto_front(pts)
+        firsts = [pts[i][0] for i in front]
+        assert firsts == sorted(firsts, reverse=True)

@@ -1,0 +1,83 @@
+"""Tests for repro.posthoc.thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.posthoc.thresholds import GroupThresholdAdjuster
+
+
+@pytest.fixture
+def biased_scores(rng):
+    """Scores where the protected group systematically scores lower."""
+    n = 400
+    groups = (rng.random(n) < 0.5).astype(float)
+    quality = rng.normal(size=n)
+    scores = 1.0 / (1.0 + np.exp(-(quality - 0.8 * groups)))
+    y_true = (quality + 0.2 * rng.normal(size=n) > 0).astype(float)
+    return scores, groups, y_true
+
+
+class TestParityAdjustment:
+    def test_equalises_acceptance_rates(self, biased_scores):
+        scores, groups, _ = biased_scores
+        adjuster = GroupThresholdAdjuster("parity", target_rate=0.3).fit(scores, groups)
+        rates = adjuster.acceptance_rates(scores, groups)
+        assert rates[0.0] == pytest.approx(0.3, abs=0.03)
+        assert rates[1.0] == pytest.approx(0.3, abs=0.03)
+
+    def test_unadjusted_rates_differ(self, biased_scores):
+        scores, groups, _ = biased_scores
+        naive = (scores >= 0.5).astype(float)
+        gap = abs(naive[groups == 1].mean() - naive[groups == 0].mean())
+        assert gap > 0.15  # bias is real before adjustment
+
+    def test_default_rate_preserves_total_volume(self, biased_scores):
+        scores, groups, _ = biased_scores
+        adjuster = GroupThresholdAdjuster("parity").fit(scores, groups)
+        adjusted = adjuster.predict(scores, groups)
+        naive_rate = float(np.mean(scores >= 0.5))
+        assert adjusted.mean() == pytest.approx(naive_rate, abs=0.05)
+
+    def test_per_group_thresholds_differ_under_bias(self, biased_scores):
+        scores, groups, _ = biased_scores
+        adjuster = GroupThresholdAdjuster("parity", target_rate=0.3).fit(scores, groups)
+        assert adjuster.thresholds_[1.0] < adjuster.thresholds_[0.0]
+
+
+class TestEqualOpportunityAdjustment:
+    def test_equalises_tpr(self, biased_scores):
+        scores, groups, y_true = biased_scores
+        adjuster = GroupThresholdAdjuster(
+            "equal_opportunity", target_rate=0.6
+        ).fit(scores, groups, y_true)
+        pred = adjuster.predict(scores, groups)
+        tprs = [
+            pred[(groups == g) & (y_true == 1)].mean() for g in (0.0, 1.0)
+        ]
+        assert abs(tprs[0] - tprs[1]) < 0.08
+
+    def test_requires_labels(self, biased_scores):
+        scores, groups, _ = biased_scores
+        with pytest.raises(ValidationError, match="labels"):
+            GroupThresholdAdjuster("equal_opportunity").fit(scores, groups)
+
+
+class TestValidation:
+    def test_bad_criterion(self):
+        with pytest.raises(ValidationError):
+            GroupThresholdAdjuster("calibration")
+
+    def test_bad_target_rate(self):
+        with pytest.raises(ValidationError):
+            GroupThresholdAdjuster("parity", target_rate=1.5)
+
+    def test_predict_before_fit(self, biased_scores):
+        scores, groups, _ = biased_scores
+        with pytest.raises(NotFittedError):
+            GroupThresholdAdjuster().predict(scores, groups)
+
+    def test_missing_group_rejected(self, rng):
+        scores = rng.random(10)
+        with pytest.raises(ValidationError, match="absent"):
+            GroupThresholdAdjuster().fit(scores, np.zeros(10))

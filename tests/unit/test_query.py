@@ -1,0 +1,43 @@
+"""Tests for repro.ranking.query."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ranking.query import build_queries
+
+
+class TestBuildQueries:
+    def test_groups_by_query_id(self, tiny_xing):
+        queries = build_queries(tiny_xing, min_size=2)
+        assert len(queries) == 4
+        for q in queries:
+            np.testing.assert_array_equal(
+                tiny_xing.query_ids[q.indices], q.qid
+            )
+
+    def test_covers_all_records_when_no_filter(self, tiny_xing):
+        queries = build_queries(tiny_xing, min_size=2)
+        total = sum(q.size for q in queries)
+        assert total == tiny_xing.n_records
+
+    def test_min_size_filter(self, tiny_xing):
+        # All queries have 15 candidates; a 16 threshold removes all.
+        with pytest.raises(ValidationError, match="no queries"):
+            build_queries(tiny_xing, min_size=16)
+
+    def test_max_queries_cap(self, tiny_xing):
+        queries = build_queries(tiny_xing, min_size=2, max_queries=2)
+        assert len(queries) == 2
+
+    def test_dataset_without_queries_rejected(self, tiny_compas):
+        with pytest.raises(ValidationError, match="query ids"):
+            build_queries(tiny_compas)
+
+    def test_min_size_validated(self, tiny_xing):
+        with pytest.raises(ValidationError):
+            build_queries(tiny_xing, min_size=1)
+
+    def test_max_queries_validated(self, tiny_xing):
+        with pytest.raises(ValidationError):
+            build_queries(tiny_xing, min_size=2, max_queries=0)

@@ -1,0 +1,132 @@
+"""Tests for repro.metrics.ranking."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.ranking import (
+    average_precision_at_k,
+    kendall_tau,
+    mean_average_precision,
+    ndcg_at_k,
+)
+
+
+class TestKendallTau:
+    def test_identical_orderings(self, rng):
+        a = rng.normal(size=50)
+        assert kendall_tau(a, a) == pytest.approx(1.0)
+
+    def test_reversed_orderings(self):
+        a = np.arange(20.0)
+        assert kendall_tau(a, -a) == pytest.approx(-1.0)
+
+    def test_known_small_case(self):
+        # a = [1,2,3], b = [1,3,2]: 2 concordant, 1 discordant -> 1/3
+        assert kendall_tau([1, 2, 3], [1, 3, 2]) == pytest.approx(1.0 / 3.0)
+
+    def test_matches_scipy(self, rng):
+        from scipy import stats
+
+        for _ in range(5):
+            a = rng.normal(size=40)
+            b = rng.normal(size=40)
+            want = stats.kendalltau(a, b).statistic
+            assert kendall_tau(a, b) == pytest.approx(want, abs=1e-10)
+
+    def test_matches_scipy_with_ties(self, rng):
+        from scipy import stats
+
+        for _ in range(5):
+            a = rng.integers(0, 5, size=30).astype(float)
+            b = rng.integers(0, 5, size=30).astype(float)
+            want = stats.kendalltau(a, b).statistic
+            assert kendall_tau(a, b) == pytest.approx(want, abs=1e-10)
+
+    def test_all_tied_returns_zero(self):
+        assert kendall_tau([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValidationError):
+            kendall_tau([1.0], [2.0])
+
+    def test_symmetry(self, rng):
+        a, b = rng.normal(size=25), rng.normal(size=25)
+        assert kendall_tau(a, b) == pytest.approx(kendall_tau(b, a))
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        ranking = list(range(20))
+        assert average_precision_at_k(ranking, ranking, k=10) == 1.0
+
+    def test_disjoint_rankings(self):
+        true = list(range(10))
+        pred = list(range(100, 110))
+        assert average_precision_at_k(true, pred, k=10) == 0.0
+
+    def test_known_value(self):
+        # relevant = {0}; predicted finds it at position 2 of the top-2
+        # -> precision 1/2 at the hit, denominator min(k, 1) = 1.
+        assert average_precision_at_k([0], [5, 0], k=2) == pytest.approx(0.5)
+
+    def test_item_outside_topk_scores_zero(self):
+        assert average_precision_at_k([0], [5, 0], k=1) == 0.0
+
+    def test_order_within_topk_matters(self):
+        true = [0, 1, 2, 3]
+        early = [0, 1, 9, 8]
+        late = [9, 8, 0, 1]
+        k = 4
+        assert average_precision_at_k(true, early, k) > average_precision_at_k(
+            true, late, k
+        )
+
+    def test_bounded_01(self, rng):
+        items = list(range(30))
+        for _ in range(10):
+            pred = list(rng.permutation(30))
+            ap = average_precision_at_k(items, pred, k=10)
+            assert 0.0 <= ap <= 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            average_precision_at_k([], [1], k=5)
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValidationError):
+            average_precision_at_k([1], [1], k=0)
+
+
+class TestMeanAveragePrecision:
+    def test_mean_of_two_queries(self):
+        t1, p1 = [0, 1], [0, 1]
+        t2, p2 = [0, 1], [5, 6]
+        out = mean_average_precision([t1, t2], [p1, p2], k=2)
+        assert out == pytest.approx(0.5)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            mean_average_precision([[1]], [[1], [2]])
+
+    def test_no_queries_raises(self):
+        with pytest.raises(ValidationError):
+            mean_average_precision([], [])
+
+
+class TestNdcg:
+    def test_ideal_ranking_scores_one(self):
+        scores = np.array([3.0, 2.0, 1.0, 0.0])
+        assert ndcg_at_k(scores, [0, 1, 2, 3], k=4) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        scores = np.array([3.0, 2.0, 1.0, 0.0])
+        assert ndcg_at_k(scores, [3, 2, 1, 0], k=4) < 1.0
+
+    def test_zero_relevance_returns_zero(self):
+        assert ndcg_at_k(np.zeros(4), [0, 1, 2, 3], k=4) == 0.0
+
+    def test_bounded(self, rng):
+        scores = rng.random(15)
+        pred = list(rng.permutation(15))
+        assert 0.0 <= ndcg_at_k(scores, pred, k=10) <= 1.0

@@ -1,0 +1,120 @@
+"""Tests for repro.pipeline.representations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.representations import (
+    CLASSIFICATION_METHODS,
+    RANKING_METHODS,
+    FitContext,
+    IFairMethod,
+    LFRMethod,
+    make_method,
+    method_candidates,
+)
+
+
+@pytest.fixture
+def context(rng):
+    X = rng.normal(size=(40, 6))
+    X[:, 5] = (rng.random(40) > 0.5).astype(float)
+    y = (rng.random(40) > 0.5).astype(float)
+    return FitContext(
+        X_train=X,
+        protected_indices=np.array([5]),
+        y_train=y,
+        protected_group_train=X[:, 5].copy(),
+        random_state=0,
+    )
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(
+        mixture_grid=(0.1, 1.0),
+        prototype_grid=(3,),
+        n_restarts=1,
+        max_iter=15,
+        max_pairs=300,
+    )
+
+
+class TestFactory:
+    def test_all_classification_methods_constructible(self):
+        for name in CLASSIFICATION_METHODS:
+            method = make_method(name, {})
+            assert method.name == name
+
+    def test_ranking_methods_subset(self):
+        assert set(RANKING_METHODS) < set(CLASSIFICATION_METHODS)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError, match="unknown method"):
+            make_method("AutoML", {})
+
+    def test_ifair_variant_names(self):
+        assert IFairMethod({}, init="random").name == "iFair-a"
+        assert IFairMethod({}, init="protected_zero").name == "iFair-b"
+
+
+class TestCandidates:
+    def test_parameter_free_methods(self, config):
+        assert method_candidates("Full Data", config) == [{}]
+        assert method_candidates("Masked Data", config) == [{}]
+
+    def test_svd_grid_is_rank_grid(self, config):
+        assert method_candidates("SVD", config) == [{"rank": 3}]
+
+    def test_ifair_grid_size(self, config):
+        # 2 lambda x 2 mu x 1 K, no degenerate corner in this grid.
+        assert len(method_candidates("iFair-b", config)) == 4
+
+    def test_lfr_grid_fixes_a_y(self, config):
+        for params in method_candidates("LFR", config):
+            assert params["a_y"] == 1.0
+
+    def test_unknown_method_rejected(self, config):
+        with pytest.raises(ValidationError):
+            method_candidates("AutoML", config)
+
+
+class TestFitTransform:
+    def test_full_data_identity(self, context):
+        method = make_method("Full Data", {}).fit(context)
+        np.testing.assert_array_equal(
+            method.transform(context.X_train), context.X_train
+        )
+
+    def test_masked_data_zeroes_protected(self, context):
+        method = make_method("Masked Data", {}).fit(context)
+        Z = method.transform(context.X_train)
+        np.testing.assert_array_equal(Z[:, 5], 0.0)
+
+    def test_svd_masked_ignores_protected_info(self, context, rng):
+        method = make_method("SVD-masked", {"rank": 3}).fit(context)
+        X = context.X_train.copy()
+        X_flipped = X.copy()
+        X_flipped[:, 5] = 1.0 - X_flipped[:, 5]
+        np.testing.assert_allclose(
+            method.transform(X), method.transform(X_flipped)
+        )
+
+    def test_lfr_requires_labels(self, context):
+        incomplete = FitContext(
+            X_train=context.X_train,
+            protected_indices=context.protected_indices,
+        )
+        with pytest.raises(ValidationError, match="LFR requires"):
+            make_method("LFR", {"max_iter": 5, "n_restarts": 1}).fit(incomplete)
+
+    def test_ifair_fit_transform_shapes(self, context):
+        params = {"n_prototypes": 3, "max_iter": 10, "n_restarts": 1, "max_pairs": 200}
+        method = make_method("iFair-b", params).fit(context)
+        Z = method.transform(context.X_train)
+        assert Z.shape == context.X_train.shape
+
+    def test_repr_shows_params(self):
+        text = repr(make_method("SVD", {"rank": 7}))
+        assert "rank" in text

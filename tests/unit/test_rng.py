@@ -1,0 +1,63 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import check_random_state, spawn_seeds
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).random(5)
+        b = check_random_state(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_numpy_integer_seed_accepted(self):
+        seed = np.int64(7)
+        gen = check_random_state(seed)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state(-1)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+
+class TestSpawnSeeds:
+    def test_count_and_type(self):
+        seeds = spawn_seeds(0, 5)
+        assert len(seeds) == 5
+        assert all(isinstance(s, int) for s in seeds)
+
+    def test_deterministic(self):
+        assert spawn_seeds(3, 4) == spawn_seeds(3, 4)
+
+    def test_distinct_within_batch(self):
+        seeds = spawn_seeds(0, 10)
+        assert len(set(seeds)) == 10
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_seeds(0, -1)
+
+    def test_seeds_in_valid_range(self):
+        assert all(0 <= s < 2**31 for s in spawn_seeds(1, 50))

@@ -1,0 +1,51 @@
+"""Tests for repro.learners.scaler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learners.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_unit_variance_default(self, rng):
+        X = rng.normal(size=(200, 3)) * np.array([1.0, 10.0, 0.1])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_mean_not_removed_by_default(self, rng):
+        X = rng.normal(size=(100, 2)) + 50.0
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(Z.mean(axis=0) > 10.0)
+
+    def test_with_mean_centres(self, rng):
+        X = rng.normal(size=(100, 2)) + 50.0
+        Z = StandardScaler(with_mean=True).fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_constant_column_passes_through(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], 1.0)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(50, 4)) * 7 + 3
+        scaler = StandardScaler(with_mean=True).fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_feature_mismatch_raises(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 2)))
+        with pytest.raises(ValidationError):
+            scaler.transform(np.zeros((3, 4)))
+
+    def test_new_data_uses_train_statistics(self, rng):
+        X_train = rng.normal(size=(100, 1)) * 4.0
+        scaler = StandardScaler().fit(X_train)
+        X_new = np.array([[4.0]])
+        np.testing.assert_allclose(
+            scaler.transform(X_new), X_new / X_train.std(axis=0)
+        )

@@ -1,0 +1,148 @@
+"""Tests for repro.data.schema."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Attribute, DatasetSchema, TabularDataset
+from repro.exceptions import SchemaError, ValidationError
+
+
+def _schema():
+    return DatasetSchema(
+        name="demo",
+        attributes=(
+            Attribute("a", "numeric"),
+            Attribute("b", "categorical", 3),
+            Attribute("s", "categorical", 2, protected=True),
+        ),
+    )
+
+
+class TestAttribute:
+    def test_numeric_width(self):
+        assert Attribute("x", "numeric").encoded_width == 1
+
+    def test_categorical_width(self):
+        assert Attribute("x", "categorical", 5).encoded_width == 5
+
+    def test_bad_kind(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "ordinal")
+
+    def test_categorical_needs_levels(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "categorical", 1)
+
+    def test_numeric_cannot_have_levels(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "numeric", 3)
+
+
+class TestDatasetSchema:
+    def test_encoded_width(self):
+        assert _schema().encoded_width == 1 + 3 + 2
+
+    def test_encoded_indices_of(self):
+        schema = _schema()
+        assert schema.encoded_indices_of("a") == [0]
+        assert schema.encoded_indices_of("b") == [1, 2, 3]
+        assert schema.encoded_indices_of("s") == [4, 5]
+
+    def test_protected_encoded_indices(self):
+        assert _schema().protected_encoded_indices == [4, 5]
+
+    def test_feature_names(self):
+        names = _schema().encoded_feature_names
+        assert names == ["a", "b=0", "b=1", "b=2", "s=0", "s=1"]
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            _schema().encoded_indices_of("zzz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatasetSchema(
+                name="bad",
+                attributes=(Attribute("a", "numeric"), Attribute("a", "numeric")),
+            )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            DatasetSchema(name="bad", attributes=())
+
+
+class TestTabularDataset:
+    def _dataset(self, rng, task="classification"):
+        X = rng.normal(size=(10, 4))
+        y = (rng.random(10) > 0.5).astype(float) if task == "classification" else rng.normal(size=10)
+        protected = (rng.random(10) > 0.5).astype(float)
+        return TabularDataset(
+            name="demo",
+            X=X,
+            y=y,
+            protected=protected,
+            protected_indices=np.array([3]),
+            feature_names=["f0", "f1", "f2", "s"],
+            task=task,
+        )
+
+    def test_shapes_exposed(self, rng):
+        ds = self._dataset(rng)
+        assert ds.n_records == 10
+        assert ds.n_features == 4
+
+    def test_nonprotected_complement(self, rng):
+        ds = self._dataset(rng)
+        assert ds.nonprotected_indices.tolist() == [0, 1, 2]
+        assert ds.X_nonprotected.shape == (10, 3)
+
+    def test_base_rate_computation(self, rng):
+        ds = self._dataset(rng)
+        for group in (0, 1):
+            mask = ds.protected == group
+            assert ds.base_rate(group) == pytest.approx(ds.y[mask].mean())
+
+    def test_base_rate_ranking_rejected(self, rng):
+        ds = self._dataset(rng, task="ranking")
+        with pytest.raises(ValidationError):
+            ds.base_rate(1)
+
+    def test_subset_preserves_alignment(self, rng):
+        ds = self._dataset(rng)
+        sub = ds.subset([0, 2, 4])
+        np.testing.assert_array_equal(sub.X, ds.X[[0, 2, 4]])
+        np.testing.assert_array_equal(sub.y, ds.y[[0, 2, 4]])
+        np.testing.assert_array_equal(sub.protected, ds.protected[[0, 2, 4]])
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            TabularDataset(
+                name="bad",
+                X=rng.normal(size=(5, 2)),
+                y=np.zeros(4),
+                protected=np.zeros(5),
+                protected_indices=np.array([1]),
+            )
+
+    def test_bad_task_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            TabularDataset(
+                name="bad",
+                X=rng.normal(size=(5, 2)),
+                y=np.zeros(5),
+                protected=np.zeros(5),
+                protected_indices=np.array([1]),
+                task="clustering",
+            )
+
+    def test_query_ids_length_checked(self, rng):
+        with pytest.raises(ValidationError):
+            TabularDataset(
+                name="bad",
+                X=rng.normal(size=(5, 2)),
+                y=np.zeros(5),
+                protected=np.zeros(5),
+                protected_indices=np.array([1]),
+                task="ranking",
+                query_ids=np.zeros(3, dtype=int),
+            )

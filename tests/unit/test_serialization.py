@@ -1,0 +1,164 @@
+"""Tests for repro.pipeline.serialization."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline.classification import (
+    CandidateOutcome,
+    ClassificationReport,
+    ClassifierMetrics,
+)
+from repro.pipeline.datasets import DatasetsReport, DatasetStats
+from repro.pipeline.obfuscation import ObfuscationReport, ObfuscationRow
+from repro.pipeline.posthoc import PosthocPoint, PosthocReport
+from repro.pipeline.ranking import RankingReport, RankingRow
+from repro.pipeline.serialization import (
+    report_to_dict,
+    report_to_json,
+    rows_to_csv,
+)
+from repro.pipeline.synthetic_study import SyntheticCell, SyntheticReport
+
+
+@pytest.fixture
+def classification_report():
+    metrics = ClassifierMetrics(
+        accuracy=0.8, auc=0.7, eq_opp=0.9, parity=float("nan"), consistency=0.95
+    )
+    return ClassificationReport(
+        dataset="credit",
+        candidates=[
+            CandidateOutcome(
+                method="iFair-b",
+                params={"mu_fair": 1.0},
+                val_auc=0.72,
+                val_consistency=0.9,
+                test=metrics,
+            )
+        ],
+    )
+
+
+class TestReportToDict:
+    def test_classification(self, classification_report):
+        out = report_to_dict(classification_report)
+        assert out["dataset"] == "credit"
+        cand = out["candidates"][0]
+        assert cand["method"] == "iFair-b"
+        assert cand["test"]["accuracy"] == 0.8
+        assert cand["test"]["parity"] is None  # NaN cleaned
+
+    def test_ranking(self):
+        report = RankingReport(
+            dataset="xing",
+            n_queries=4,
+            rows=[
+                RankingRow(
+                    method="iFair-b",
+                    map_score=0.7,
+                    kendall=0.5,
+                    consistency=0.9,
+                    protected_share=0.3,
+                )
+            ],
+        )
+        out = report_to_dict(report)
+        assert out["n_queries"] == 4
+        assert out["rows"][0]["map"] == 0.7
+
+    def test_obfuscation_handles_missing_lfr(self):
+        report = ObfuscationReport(
+            rows=[ObfuscationRow(dataset="xing", masked=0.7, lfr=None, ifair=0.55)]
+        )
+        out = report_to_dict(report)
+        assert out["rows"][0]["lfr"] is None
+
+    def test_posthoc(self):
+        report = PosthocReport(
+            dataset="airbnb",
+            points=[PosthocPoint(p=0.5, map_score=0.8, protected_share=0.4, consistency=0.7)],
+        )
+        out = report_to_dict(report)
+        assert out["points"][0]["p"] == 0.5
+
+    def test_synthetic(self):
+        report = SyntheticReport(
+            cells=[
+                SyntheticCell(
+                    variant="x1",
+                    method="LFR",
+                    accuracy=0.9,
+                    consistency=0.95,
+                    parity=0.2,
+                    eq_opp=0.1,
+                )
+            ]
+        )
+        out = report_to_dict(report)
+        assert out["cells"][0]["variant"] == "x1"
+
+    def test_datasets(self):
+        report = DatasetsReport(
+            rows=[
+                DatasetStats(
+                    name="compas",
+                    base_rate_protected=0.52,
+                    base_rate_unprotected=0.40,
+                    n_records=100,
+                    n_encoded=431,
+                    outcome="recidivism",
+                    protected="race",
+                )
+            ]
+        )
+        out = report_to_dict(report)
+        assert out["rows"][0]["n_encoded"] == 431
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError, match="no serializer"):
+            report_to_dict(object())
+
+
+class TestJson:
+    def test_round_trip(self, classification_report):
+        text = report_to_json(classification_report)
+        parsed = json.loads(text)
+        assert parsed["experiment"] == "classification"
+
+    def test_nan_is_valid_json(self, classification_report):
+        text = report_to_json(classification_report)
+        json.loads(text)  # would raise on bare NaN
+
+
+class TestCsv:
+    def test_header_union(self):
+        csv = rows_to_csv([{"a": 1}, {"a": 2, "b": 3}])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"
+        assert lines[2] == "2,3"
+
+    def test_quoting(self):
+        csv = rows_to_csv([{"name": 'has,comma "quoted"'}])
+        assert '"has,comma ""quoted"""' in csv
+
+    def test_none_rendered_empty(self):
+        csv = rows_to_csv([{"x": None}])
+        assert csv.splitlines() == ["x", ""]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            rows_to_csv([])
+
+    def test_pipeline_rows_serialise(self, classification_report):
+        flat = [
+            {
+                "method": c["method"],
+                **c["test"],
+            }
+            for c in report_to_dict(classification_report)["candidates"]
+        ]
+        csv = rows_to_csv(flat)
+        assert "method" in csv.splitlines()[0]

@@ -1,0 +1,67 @@
+"""Tests for repro.data.splits."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import stratified_split, train_val_test_split
+from repro.exceptions import ValidationError
+
+
+class TestTrainValTest:
+    def test_partition_property(self):
+        split = train_val_test_split(100, random_state=0)
+        joined = np.concatenate([split.train, split.val, split.test])
+        assert sorted(joined.tolist()) == list(range(100))
+
+    def test_disjoint(self):
+        split = train_val_test_split(50, random_state=0)
+        assert not set(split.train) & set(split.val)
+        assert not set(split.train) & set(split.test)
+        assert not set(split.val) & set(split.test)
+
+    def test_default_thirds(self):
+        split = train_val_test_split(300, random_state=0)
+        assert split.sizes == (100, 100, 100)
+
+    def test_custom_fractions(self):
+        split = train_val_test_split(100, (0.6, 0.2, 0.2), random_state=0)
+        assert split.sizes == (60, 20, 20)
+
+    def test_deterministic(self):
+        a = train_val_test_split(40, random_state=3)
+        b = train_val_test_split(40, random_state=3)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_tiny_input(self):
+        split = train_val_test_split(3, random_state=0)
+        assert split.sizes == (1, 1, 1)
+
+    def test_too_few_rejected(self):
+        with pytest.raises(ValidationError):
+            train_val_test_split(2)
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValidationError):
+            train_val_test_split(10, (0.5, 0.5, 0.5))
+        with pytest.raises(ValidationError):
+            train_val_test_split(10, (1.0, -0.5, 0.5))
+
+
+class TestStratified:
+    def test_partition_property(self, rng):
+        labels = (rng.random(90) > 0.3).astype(float)
+        split = stratified_split(labels, random_state=0)
+        joined = np.concatenate([split.train, split.val, split.test])
+        assert sorted(joined.tolist()) == list(range(90))
+
+    def test_label_proportions_preserved(self, rng):
+        labels = (rng.random(300) > 0.25).astype(float)
+        split = stratified_split(labels, random_state=0)
+        overall = labels.mean()
+        for part in (split.train, split.val, split.test):
+            assert labels[part].mean() == pytest.approx(overall, abs=0.05)
+
+    def test_rare_label_rejected(self):
+        labels = np.array([0.0] * 10 + [1.0] * 2)
+        with pytest.raises(ValidationError, match="fewer than 3"):
+            stratified_split(labels)

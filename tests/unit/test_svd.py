@@ -1,0 +1,115 @@
+"""Tests for repro.baselines.svd."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.svd import SVDTransform, randomized_svd, truncated_svd
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def _low_rank(rng, m=40, n=10, r=3):
+    """An exactly rank-r matrix plus its factors."""
+    A = rng.normal(size=(m, r))
+    B = rng.normal(size=(r, n))
+    return A @ B
+
+
+class TestTruncatedSvd:
+    def test_exact_recovery_of_low_rank(self, rng):
+        X = _low_rank(rng, r=3)
+        U, s, Vt = truncated_svd(X, 3)
+        np.testing.assert_allclose(U * s @ Vt, X, atol=1e-8)
+
+    def test_singular_values_descending(self, rng):
+        _, s, _ = truncated_svd(rng.normal(size=(20, 8)), 5)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_orthonormal_factors(self, rng):
+        U, _, Vt = truncated_svd(rng.normal(size=(15, 6)), 4)
+        np.testing.assert_allclose(U.T @ U, np.eye(4), atol=1e-10)
+        np.testing.assert_allclose(Vt @ Vt.T, np.eye(4), atol=1e-10)
+
+    def test_rank_bounds(self, rng):
+        X = rng.normal(size=(5, 3))
+        with pytest.raises(ValidationError):
+            truncated_svd(X, 0)
+        with pytest.raises(ValidationError):
+            truncated_svd(X, 4)
+
+
+class TestRandomizedSvd:
+    def test_matches_exact_on_low_rank(self, rng):
+        X = _low_rank(rng, r=3)
+        _, s_exact, _ = truncated_svd(X, 3)
+        _, s_rand, _ = randomized_svd(X, 3, random_state=0)
+        np.testing.assert_allclose(s_rand, s_exact, rtol=1e-6)
+
+    def test_reconstruction_close_on_decaying_spectrum(self, rng):
+        # Spectrum decaying fast: randomized SVD nearly exact.
+        U, _, Vt = np.linalg.svd(rng.normal(size=(30, 12)), full_matrices=False)
+        s = 2.0 ** -np.arange(12)
+        X = (U * s) @ Vt
+        Ur, sr, Vtr = randomized_svd(X, 4, n_power_iter=6, random_state=0)
+        np.testing.assert_allclose((Ur * sr) @ Vtr, (U[:, :4] * s[:4]) @ Vt[:4], atol=1e-6)
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(20, 8))
+        _, s1, _ = randomized_svd(X, 3, random_state=1)
+        _, s2, _ = randomized_svd(X, 3, random_state=1)
+        np.testing.assert_allclose(s1, s2)
+
+    def test_negative_oversamples_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            randomized_svd(rng.normal(size=(10, 5)), 2, n_oversamples=-1)
+
+
+class TestSVDTransform:
+    def test_reconstruction_shape_preserved(self, rng):
+        X = rng.normal(size=(25, 7))
+        Z = SVDTransform(rank=3).fit_transform(X)
+        assert Z.shape == X.shape
+
+    def test_exact_on_low_rank_input(self, rng):
+        X = _low_rank(rng, r=2)
+        Z = SVDTransform(rank=2).fit_transform(X)
+        np.testing.assert_allclose(Z, X, atol=1e-8)
+
+    def test_projection_idempotent(self, rng):
+        X = rng.normal(size=(20, 6))
+        svd = SVDTransform(rank=3).fit(X)
+        Z = svd.transform(X)
+        np.testing.assert_allclose(svd.transform(Z), Z, atol=1e-8)
+
+    def test_full_rank_is_identity(self, rng):
+        X = rng.normal(size=(20, 4))
+        Z = SVDTransform(rank=4).fit_transform(X)
+        np.testing.assert_allclose(Z, X, atol=1e-8)
+
+    def test_rank_capped_at_matrix_rank_dim(self, rng):
+        X = rng.normal(size=(5, 3))
+        svd = SVDTransform(rank=10).fit(X)  # silently capped
+        assert svd.components_.shape[0] == 3
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            SVDTransform().transform(rng.normal(size=(3, 3)))
+
+    def test_feature_mismatch_raises(self, rng):
+        svd = SVDTransform(rank=2).fit(rng.normal(size=(10, 4)))
+        with pytest.raises(ValidationError):
+            svd.transform(rng.normal(size=(3, 5)))
+
+    def test_randomized_method(self, rng):
+        X = _low_rank(rng, r=2)
+        Z = SVDTransform(rank=2, method="randomized").fit_transform(X)
+        np.testing.assert_allclose(Z, X, atol=1e-6)
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ValidationError):
+            SVDTransform(method="magic")
+
+    def test_explained_variance_increases_with_rank(self, rng):
+        X = rng.normal(size=(30, 8))
+        low = SVDTransform(rank=2).fit(X)
+        high = SVDTransform(rank=6).fit(X)
+        assert high.explained_variance_ratio(X) >= low.explained_variance_ratio(X)

@@ -1,0 +1,63 @@
+"""Tests for repro.data.synthetic (the Figure 2 generator)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticVariant, all_variants, generate_synthetic
+from repro.exceptions import ValidationError
+
+
+class TestGenerateSynthetic:
+    def test_default_shape(self):
+        ds = generate_synthetic(random_state=0)
+        assert ds.X.shape == (100, 3)
+        assert ds.protected_indices.tolist() == [2]
+
+    def test_protected_column_matches_flags(self):
+        ds = generate_synthetic(SyntheticVariant.X1, random_state=0)
+        np.testing.assert_array_equal(ds.X[:, 2], ds.protected)
+
+    def test_x1_rule(self):
+        ds = generate_synthetic(SyntheticVariant.X1, random_state=0)
+        np.testing.assert_array_equal(ds.protected, (ds.X[:, 0] <= 3.0).astype(float))
+
+    def test_x2_rule(self):
+        ds = generate_synthetic(SyntheticVariant.X2, random_state=0)
+        np.testing.assert_array_equal(ds.protected, (ds.X[:, 1] <= 3.0).astype(float))
+
+    def test_random_rule_rate(self):
+        ds = generate_synthetic(SyntheticVariant.RANDOM, n_records=4000, random_state=0)
+        assert ds.protected.mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_variants_share_features_and_labels(self):
+        a, b, c = all_variants(random_state=7)
+        np.testing.assert_array_equal(a.X[:, :2], b.X[:, :2])
+        np.testing.assert_array_equal(b.X[:, :2], c.X[:, :2])
+        np.testing.assert_array_equal(a.y, b.y)
+        np.testing.assert_array_equal(b.y, c.y)
+
+    def test_mixture_components_label_split(self):
+        ds = generate_synthetic(n_records=200, mix=0.5, random_state=0)
+        assert ds.y.sum() == 100
+
+    def test_correlated_component_is_correlated(self):
+        ds = generate_synthetic(n_records=2000, random_state=0)
+        corr_pts = ds.X[ds.y == 1][:, :2]
+        iso_pts = ds.X[ds.y == 0][:, :2]
+        assert np.corrcoef(corr_pts.T)[0, 1] > 0.8
+        assert abs(np.corrcoef(iso_pts.T)[0, 1]) < 0.2
+
+    def test_string_variant_accepted(self):
+        ds = generate_synthetic("x1", random_state=0)
+        assert ds.name == "synthetic-x1"
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            generate_synthetic(n_records=2)
+        with pytest.raises(ValidationError):
+            generate_synthetic(mix=0.0)
+
+    def test_deterministic(self):
+        a = generate_synthetic(random_state=9)
+        b = generate_synthetic(random_state=9)
+        np.testing.assert_array_equal(a.X, b.X)

@@ -1,0 +1,43 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(0.123456, precision=3) == "0.123"
+
+    def test_int_unchanged(self):
+        assert format_cell(42) == "42"
+
+    def test_string_unchanged(self):
+        assert format_cell("abc") == "abc"
+
+    def test_bool_not_treated_as_float(self):
+        assert format_cell(True) == "True"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        # All data lines have the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title_prepended(self):
+        out = render_table(["x"], [[1]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [[1]])
+
+    def test_contains_all_cells(self):
+        out = render_table(["col"], [["hello"], ["world"]])
+        assert "hello" in out and "world" in out
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,82 @@
+"""Tests for repro.core.tuning."""
+
+import pytest
+
+from repro.core.tuning import (
+    GridSearch,
+    TuningCriterion,
+    default_hyper_grid,
+)
+from repro.exceptions import ValidationError
+from repro.utils.mathkit import harmonic_mean
+
+
+class TestTuningCriterion:
+    def test_max_utility_ignores_fairness(self):
+        assert TuningCriterion.MAX_UTILITY.score(0.8, 0.1) == 0.8
+
+    def test_max_fairness_ignores_utility(self):
+        assert TuningCriterion.MAX_FAIRNESS.score(0.8, 0.1) == 0.1
+
+    def test_optimal_is_harmonic_mean(self):
+        assert TuningCriterion.OPTIMAL.score(0.8, 0.4) == pytest.approx(
+            harmonic_mean(0.8, 0.4)
+        )
+
+
+class TestDefaultHyperGrid:
+    def test_paper_grid_size(self):
+        grid = default_hyper_grid()
+        # 6 x 6 mixtures minus the lambda=mu=0 corner, times 3 K values.
+        assert len(grid) == (36 - 1) * 3
+
+    def test_no_degenerate_corner(self):
+        for point in default_hyper_grid():
+            assert not (point["lambda_util"] == 0.0 and point["mu_fair"] == 0.0)
+
+    def test_keys(self):
+        point = default_hyper_grid()[0]
+        assert set(point) == {"lambda_util", "mu_fair", "n_prototypes"}
+
+
+class TestGridSearch:
+    def test_evaluates_every_point(self):
+        grid = [{"x": 1}, {"x": 2}, {"x": 3}]
+        seen = []
+
+        def build(params):
+            seen.append(params["x"])
+            return params["x"]
+
+        search = GridSearch(build, lambda x: (x / 3.0, 1.0 - x / 3.0), grid)
+        result = search.run()
+        assert seen == [1, 2, 3]
+        assert len(result.candidates) == 3
+
+    def test_best_by_each_criterion(self):
+        grid = [{"x": 1}, {"x": 2}]
+        # Candidate 1: (0.9, 0.1); candidate 2: (0.2, 0.8).
+        scores = {1: (0.9, 0.1), 2: (0.2, 0.8)}
+        search = GridSearch(lambda p: p["x"], lambda x: scores[x], grid)
+        result = search.run()
+        assert result.best(TuningCriterion.MAX_UTILITY).params == {"x": 1}
+        assert result.best(TuningCriterion.MAX_FAIRNESS).params == {"x": 2}
+
+    def test_pareto_optimal_subset(self):
+        grid = [{"x": i} for i in range(3)]
+        scores = {0: (0.9, 0.1), 1: (0.5, 0.5), 2: (0.4, 0.4)}
+        search = GridSearch(lambda p: p["x"], lambda x: scores[x], grid)
+        result = search.run()
+        front = {c.params["x"] for c in result.pareto_optimal()}
+        assert front == {0, 1}
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            GridSearch(lambda p: p, lambda a: (0, 0), [])
+
+    def test_best_of_empty_result_rejected(self):
+        search = GridSearch(lambda p: p, lambda a: (0, 0), [{"x": 1}])
+        result = search.run()
+        result.candidates.clear()
+        with pytest.raises(ValidationError):
+            result.best(TuningCriterion.OPTIMAL)

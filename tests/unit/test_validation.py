@@ -1,0 +1,113 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_binary_labels,
+    check_matrix,
+    check_protected_indices,
+    check_vector,
+    nonprotected_indices,
+)
+
+
+class TestCheckMatrix:
+    def test_coerces_lists(self):
+        out = check_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_promotes_1d_to_column(self):
+        assert check_matrix([1.0, 2.0, 3.0]).shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan_by_default(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_matrix([[1.0, np.nan]])
+
+    def test_allow_nan_flag(self):
+        out = check_matrix([[1.0, np.nan]], allow_nan=True)
+        assert np.isnan(out[0, 1])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_matrix([[np.inf, 1.0]])
+
+    def test_min_rows(self):
+        with pytest.raises(ValidationError, match="at least 3"):
+            check_matrix([[1.0], [2.0]], min_rows=3)
+
+    def test_min_cols(self):
+        with pytest.raises(ValidationError):
+            check_matrix([[1.0], [2.0]], min_cols=2)
+
+
+class TestCheckVector:
+    def test_flattens(self):
+        assert check_vector([[1], [2]]).shape == (2,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            check_vector([])
+
+    def test_length_enforced(self):
+        with pytest.raises(ValidationError, match="length 3"):
+            check_vector([1, 2], length=3)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            check_vector([1.0, np.nan])
+
+
+class TestCheckBinaryLabels:
+    def test_accepts_01(self):
+        out = check_binary_labels([0, 1, 1, 0])
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_accepts_single_class(self):
+        out = check_binary_labels([1, 1, 1])
+        assert out.tolist() == [1.0, 1.0, 1.0]
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValidationError, match="0/1"):
+            check_binary_labels([0, 2])
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValidationError):
+            check_binary_labels([0.5, 1.0])
+
+
+class TestProtectedIndices:
+    def test_none_is_empty(self):
+        assert check_protected_indices(None, 5).size == 0
+
+    def test_empty_iterable(self):
+        assert check_protected_indices([], 5).size == 0
+
+    def test_sorted_output(self):
+        out = check_protected_indices([3, 1], 5)
+        assert out.tolist() == [1, 3]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError, match="duplicates"):
+            check_protected_indices([1, 1], 5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            check_protected_indices([5], 5)
+        with pytest.raises(ValidationError):
+            check_protected_indices([-1], 5)
+
+    def test_nonprotected_complement(self):
+        prot = check_protected_indices([1, 3], 5)
+        rest = nonprotected_indices(prot, 5)
+        assert rest.tolist() == [0, 2, 4]
+
+    def test_complement_of_empty_is_everything(self):
+        rest = nonprotected_indices(np.empty(0, dtype=np.intp), 4)
+        assert rest.tolist() == [0, 1, 2, 3]
