@@ -1,0 +1,168 @@
+"""Serving benchmark: single-record latency and batched throughput.
+
+Unlike the ``bench_table*`` modules (pytest-benchmark wrappers over the
+paper pipeline), this is a directly runnable end-to-end benchmark of
+the online serving subsystem::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --records 2000 --http
+
+It fits a compas serving pipeline, saves and reloads the artifact (so
+the persistence path is in the loop), then reports:
+
+* single-record ``score`` latency percentiles, in-process and — with
+  ``--http`` — through the JSON service;
+* batched throughput (records/sec) across request batch sizes;
+* cache behaviour: throughput at 0%, 50% and 90% record-repeat ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import tempfile
+import time
+
+import numpy as np
+
+from repro.data.compas import generate_compas
+from repro.serving import (
+    DecisionService,
+    HTTPClient,
+    InferenceEngine,
+    InProcessClient,
+    fit_serving_pipeline,
+    load_artifact,
+    save_artifact,
+)
+from repro.utils.tables import render_table
+
+
+def _percentiles(samples_s):
+    ms = sorted(s * 1e3 for s in samples_s)
+    pick = lambda q: ms[min(len(ms) - 1, int(q * len(ms)))]
+    return statistics.fmean(ms), pick(0.50), pick(0.95)
+
+
+def bench_latency(client, records, n_calls: int):
+    """Mean/p50/p95 single-record latency in milliseconds."""
+    rng = np.random.default_rng(0)
+    pool = [records[i] for i in rng.integers(0, len(records), size=n_calls)]
+    client.score([pool[0]])  # warm up (JIT-less, but primes caches/sockets)
+    samples = []
+    for record in pool:
+        start = time.perf_counter()
+        client.score([record])
+        samples.append(time.perf_counter() - start)
+    return _percentiles(samples)
+
+
+def bench_throughput(engine, records, batch_sizes, repeats: int = 5):
+    """Records/sec of ``score`` per request batch size (cold cache)."""
+    rows = []
+    for batch in batch_sizes:
+        reqs = [records[np.random.default_rng(b).integers(0, len(records), batch)]
+                for b in range(repeats)]
+        best = 0.0
+        for req in reqs:
+            fresh = InferenceEngine(engine.artifact, batch_size=256, cache_size=0)
+            start = time.perf_counter()
+            fresh.score(req)
+            elapsed = time.perf_counter() - start
+            best = max(best, batch / elapsed)
+        rows.append([batch, f"{best:,.0f}"])
+    return rows
+
+
+def bench_cache(artifact, records, repeat_ratios, n_requests: int = 300):
+    """Throughput and hit ratio under repeated-record traffic."""
+    rows = []
+    rng = np.random.default_rng(1)
+    for ratio in repeat_ratios:
+        engine = InferenceEngine(artifact, batch_size=256, cache_size=4096)
+        hot = records[:8]
+        start = time.perf_counter()
+        for _ in range(n_requests):
+            if rng.random() < ratio:
+                engine.score(hot[rng.integers(0, len(hot))][None, :])
+            else:
+                engine.score(records[rng.integers(0, len(records))][None, :])
+        elapsed = time.perf_counter() - start
+        stats = engine.stats()
+        rows.append(
+            [
+                f"{ratio:.0%}",
+                f"{stats['cache_hit_ratio']:.2f}",
+                f"{n_requests / elapsed:,.0f}",
+            ]
+        )
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=600)
+    parser.add_argument("--n-prototypes", type=int, default=8)
+    parser.add_argument("--latency-calls", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--http", action="store_true", help="also measure latency over HTTP"
+    )
+    args = parser.parse_args()
+
+    print(f"fitting compas serving pipeline ({args.records} records) ...")
+    dataset = generate_compas(args.records, charge_levels=40, random_state=args.seed)
+    artifact = fit_serving_pipeline(
+        dataset,
+        n_prototypes=args.n_prototypes,
+        max_iter=50,
+        max_pairs=2000,
+        random_state=args.seed,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = load_artifact(save_artifact(f"{tmp}/artifact", artifact))
+    engine = InferenceEngine(artifact, batch_size=256, cache_size=4096)
+    records = dataset.X
+
+    mean, p50, p95 = bench_latency(
+        InProcessClient(engine), records.tolist(), args.latency_calls
+    )
+    latency_rows = [["in-process", f"{mean:.3f}", f"{p50:.3f}", f"{p95:.3f}"]]
+    if args.http:
+        with DecisionService(engine, port=0) as service:
+            host, port = service.address
+            mean, p50, p95 = bench_latency(
+                HTTPClient(host, port), records.tolist(), args.latency_calls
+            )
+        latency_rows.append(["http", f"{mean:.3f}", f"{p50:.3f}", f"{p95:.3f}"])
+    print()
+    print(
+        render_table(
+            ["transport", "mean ms", "p50 ms", "p95 ms"],
+            latency_rows,
+            title=f"single-record score latency ({args.latency_calls} calls)",
+        )
+    )
+
+    print()
+    print(
+        render_table(
+            ["batch size", "records/sec"],
+            bench_throughput(engine, records, (1, 8, 64, 256, 1024)),
+            title="batched score throughput (cold cache, best of 5)",
+        )
+    )
+
+    print()
+    print(
+        render_table(
+            ["repeat ratio", "hit ratio", "requests/sec"],
+            bench_cache(artifact, records, (0.0, 0.5, 0.9)),
+            title="cache behaviour under repeated-record traffic",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

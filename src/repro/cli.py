@@ -1,26 +1,33 @@
-"""Command-line entry point: regenerate paper experiments.
+"""Command-line entry point: experiments and the serving workflow.
 
 Usage::
 
     python -m repro list
     python -m repro run table3
     python -m repro run fig4 --scale paper --seed 11
-    python -m repro run all
+    python -m repro run all --json
+    python -m repro fit-save compas --out artifacts/compas
+    python -m repro serve --artifact artifacts/compas --port 8351
 
 ``run`` prints the same table/series the corresponding paper artefact
-reports; ``--scale paper`` switches from the reduced default protocol
-to the paper's full grids and dataset sizes.
+reports (``--json`` switches to the machine-readable serialisation);
+``--scale paper`` switches from the reduced default protocol to the
+paper's full grids and dataset sizes.  ``fit-save`` fits a full
+serving pipeline (scaler -> iFair -> scorer -> thresholds) on one of
+the evaluation datasets and writes a versioned artifact directory;
+``serve`` loads such an artifact and answers JSON requests over HTTP.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.exceptions import ReproError
 from repro.pipeline.config import ExperimentConfig
-from repro.pipeline.registry import EXPERIMENTS, run_experiment
+from repro.pipeline.registry import EXPERIMENTS, run_experiment, run_experiment_dict
 
 _DESCRIPTIONS = {
     "table1": "motivating Xing example (group-fair yet individually unfair)",
@@ -34,6 +41,8 @@ _DESCRIPTIONS = {
     "fig5": "post-hoc parity via FA*IR on iFair scores",
 }
 
+_FIT_DATASETS = ("compas", "census", "credit")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -42,6 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
         "experiment",
@@ -57,6 +67,65 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--seed", type=int, default=7, help="master random seed (default 7)"
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of rendered tables",
+    )
+
+    fit = sub.add_parser(
+        "fit-save",
+        help="fit a serving pipeline on a dataset and save the artifact",
+    )
+    fit.add_argument("dataset", choices=_FIT_DATASETS, help="dataset to fit on")
+    fit.add_argument("--out", required=True, help="artifact output directory")
+    fit.add_argument(
+        "--records", type=int, default=1000, help="training records (default 1000)"
+    )
+    fit.add_argument(
+        "--n-prototypes", type=int, default=10, help="iFair K (default 10)"
+    )
+    fit.add_argument(
+        "--lambda-util", type=float, default=1.0, help="utility weight (default 1)"
+    )
+    fit.add_argument(
+        "--mu-fair", type=float, default=1.0, help="fairness weight (default 1)"
+    )
+    fit.add_argument(
+        "--criterion",
+        choices=("parity", "equal_opportunity"),
+        default="parity",
+        help="decision-threshold calibration criterion (default parity)",
+    )
+    fit.add_argument(
+        "--max-iter", type=int, default=100, help="L-BFGS budget (default 100)"
+    )
+    fit.add_argument(
+        "--seed", type=int, default=7, help="master random seed (default 7)"
+    )
+
+    serve = sub.add_parser("serve", help="serve a saved artifact over HTTP")
+    serve.add_argument("--artifact", required=True, help="artifact directory")
+    serve.add_argument("--host", default="127.0.0.1", help="bind host")
+    serve.add_argument("--port", type=int, default=8351, help="bind port")
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="max rows per model evaluation (default 256)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="per-record representation cache capacity (default 4096)",
+    )
+    serve.add_argument(
+        "--batch-delay-ms",
+        type=float,
+        default=0.0,
+        help="micro-batch window in milliseconds (default 0)",
+    )
     return parser
 
 
@@ -66,23 +135,94 @@ def _config(scale: str, seed: int) -> ExperimentConfig:
     return ExperimentConfig.fast(random_state=seed)
 
 
+def _cmd_run(args) -> int:
+    config = _config(args.scale, args.seed)
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.json:
+        results = {target: run_experiment_dict(target, config) for target in targets}
+        payload = results[targets[0]] if len(targets) == 1 else results
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for target in targets:
+        print(run_experiment(target, config))
+        print()
+    return 0
+
+
+def _cmd_fit_save(args) -> int:
+    from repro.data import generate_census, generate_compas, generate_credit
+    from repro.serving import fit_serving_pipeline, save_artifact
+
+    if args.dataset == "compas":
+        dataset = generate_compas(args.records, random_state=args.seed)
+    elif args.dataset == "census":
+        dataset = generate_census(args.records, random_state=args.seed)
+    else:
+        dataset = generate_credit(args.records, random_state=args.seed)
+    artifact = fit_serving_pipeline(
+        dataset,
+        n_prototypes=args.n_prototypes,
+        lambda_util=args.lambda_util,
+        mu_fair=args.mu_fair,
+        criterion=args.criterion,
+        max_iter=args.max_iter,
+        random_state=args.seed,
+    )
+    path = save_artifact(args.out, artifact)
+    print(
+        f"saved {args.dataset} serving artifact to {path} "
+        f"(K={args.n_prototypes}, loss={artifact.model.loss_:.4f}, "
+        f"criterion={args.criterion})"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import DecisionService, InferenceEngine, load_artifact
+
+    # Load first so artifact problems report as artifact errors, and
+    # only a failing socket bind reports as a bind error.
+    engine = InferenceEngine(
+        load_artifact(args.artifact),
+        batch_size=args.batch_size,
+        cache_size=args.cache_size,
+        max_batch_delay=args.batch_delay_ms / 1000.0,
+    )
+    try:
+        service = DecisionService(
+            engine, host=args.host, port=args.port, verbose=True
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port} ({exc})", file=sys.stderr)
+        return 1
+    host, port = service.address
+    endpoints = ", ".join(service.engine.endpoints())
+    print(f"serving {args.artifact} on http://{host}:{port} ({endpoints})")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("shutting down")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        for name in sorted(EXPERIMENTS):
-            print(f"{name:8s} {_DESCRIPTIONS.get(name, '')}")
-        return 0
-    config = _config(args.scale, args.seed)
-    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:
-        for target in targets:
-            print(run_experiment(target, config))
-            print()
+        if args.command == "list":
+            for name in sorted(EXPERIMENTS):
+                print(f"{name:8s} {_DESCRIPTIONS.get(name, '')}")
+            return 0
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "fit-save":
+            return _cmd_fit_save(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

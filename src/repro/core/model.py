@@ -198,8 +198,21 @@ class IFair:
         if self.prototypes_ is None or self.alpha_ is None:
             raise NotFittedError("IFair must be fitted before transforming data")
 
-    def memberships(self, X) -> np.ndarray:
-        """Per-record prototype probabilities u_i (Definition 8)."""
+    def memberships(self, X, *, batch_size: Optional[int] = None) -> np.ndarray:
+        """Per-record prototype probabilities u_i (Definition 8).
+
+        Parameters
+        ----------
+        X:
+            Records to evaluate, shape (M, N).
+        batch_size:
+            Evaluate at most this many rows at a time.  The intermediate
+            record-prototype difference tensor has shape
+            ``(batch, K, N)``; chunking keeps it bounded for large M
+            (e.g. at serving time) while remaining exactly equal to the
+            unchunked result, because each row's memberships depend only
+            on that row.
+        """
         self._check_fitted()
         X = check_matrix(X, "X")
         if X.shape[1] != self.prototypes_.shape[1]:
@@ -207,6 +220,19 @@ class IFair:
                 f"X has {X.shape[1]} features, model was fitted with "
                 f"{self.prototypes_.shape[1]}"
             )
+        if batch_size is not None:
+            batch_size = int(batch_size)
+            if batch_size < 1:
+                raise ValidationError("batch_size must be a positive integer")
+        if batch_size is None or X.shape[0] <= batch_size:
+            return self._memberships_block(X)
+        out = np.empty((X.shape[0], self.prototypes_.shape[0]))
+        for start in range(0, X.shape[0], batch_size):
+            stop = start + batch_size
+            out[start:stop] = self._memberships_block(X[start:stop])
+        return out
+
+    def _memberships_block(self, X: np.ndarray) -> np.ndarray:
         diff = X[:, None, :] - self.prototypes_[None, :, :]
         if self.p == 2.0:
             powed = diff * diff
@@ -215,9 +241,9 @@ class IFair:
         d = powed @ self.alpha_
         return softmax(-d, axis=1)
 
-    def transform(self, X) -> np.ndarray:
+    def transform(self, X, *, batch_size: Optional[int] = None) -> np.ndarray:
         """Apply the learned mapping phi (Definition 3) to records."""
-        return self.memberships(X) @ self.prototypes_
+        return self.memberships(X, batch_size=batch_size) @ self.prototypes_
 
     def fit_transform(self, X, protected_indices=None) -> np.ndarray:
         """Fit on ``X`` and return its transformed representation."""

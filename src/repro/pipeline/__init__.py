@@ -16,6 +16,15 @@ One module per paper artefact (table/figure) plus shared machinery:
 """
 
 from repro.pipeline.config import ExperimentConfig
-from repro.pipeline.registry import EXPERIMENTS, run_experiment
+from repro.pipeline.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    run_experiment_dict,
+)
 
-__all__ = ["ExperimentConfig", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "ExperimentConfig",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiment_dict",
+]

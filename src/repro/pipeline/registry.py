@@ -49,36 +49,32 @@ def _ranking_datasets(config: ExperimentConfig):
     return xing, airbnb
 
 
-def _run_table1(config: ExperimentConfig) -> str:
-    return run_motivation(config).table1()
+# ----------------------------------------------------------------------
+# report builders — produce report *objects*, shared by the text and
+# JSON output paths so both render exactly the same run
 
 
-def _run_table2(config: ExperimentConfig) -> str:
+def _build_table1(config: ExperimentConfig):
+    return run_motivation(config)
+
+
+def _build_table2(config: ExperimentConfig):
     full = config.classification_records >= 6901
-    return run_dataset_statistics(
-        full_scale=full, random_state=config.random_state
-    ).table2()
+    return run_dataset_statistics(full_scale=full, random_state=config.random_state)
 
 
-def _run_fig2(config: ExperimentConfig) -> str:
-    return run_synthetic_study(config).figure2()
+def _build_fig2(config: ExperimentConfig):
+    return run_synthetic_study(config)
 
 
-def _run_fig3(config: ExperimentConfig) -> str:
-    blocks = []
-    for dataset in _classification_datasets(config):
-        blocks.append(run_classification(dataset, config).figure3())
-    return "\n\n".join(blocks)
+def _build_classification(config: ExperimentConfig):
+    return [
+        run_classification(dataset, config)
+        for dataset in _classification_datasets(config)
+    ]
 
 
-def _run_table3(config: ExperimentConfig) -> str:
-    blocks = []
-    for dataset in _classification_datasets(config):
-        blocks.append(run_classification(dataset, config).table3())
-    return "\n\n".join(blocks)
-
-
-def _run_table4(config: ExperimentConfig) -> str:
+def _build_table4(config: ExperimentConfig):
     xing, _ = _ranking_datasets(config)
     grid = [
         (0.0, 0.5, 1.0),
@@ -89,32 +85,86 @@ def _run_table4(config: ExperimentConfig) -> str:
         (1.0, 0.25, 0.75),
         (1.0, 1.0, 1.0),
     ]
-    rows = run_weight_sensitivity(xing, grid, config)
-    return table4(rows)
+    return run_weight_sensitivity(xing, grid, config)
+
+
+def _build_table5(config: ExperimentConfig):
+    xing, airbnb = _ranking_datasets(config)
+    return [
+        run_ranking(xing, config, fair_ps=(0.5, 0.9), min_query_size=5),
+        run_ranking(airbnb, config, fair_ps=(0.5, 0.6), min_query_size=10),
+    ]
+
+
+def _build_fig4(config: ExperimentConfig):
+    xing, airbnb = _ranking_datasets(config)
+    datasets = _classification_datasets(config) + [xing, airbnb]
+    return run_obfuscation_study(datasets, config)
+
+
+def _build_fig5(config: ExperimentConfig):
+    xing, airbnb = _ranking_datasets(config)
+    return [
+        run_posthoc(xing, config, min_query_size=5),
+        run_posthoc(airbnb, config, min_query_size=10),
+    ]
+
+
+EXPERIMENT_REPORTS: Dict[str, Callable[[ExperimentConfig], object]] = {
+    "table1": _build_table1,
+    "table2": _build_table2,
+    "fig2": _build_fig2,
+    "fig3": _build_classification,
+    "table3": _build_classification,
+    "table4": _build_table4,
+    "table5": _build_table5,
+    "fig4": _build_fig4,
+    "fig5": _build_fig5,
+}
+
+
+# ----------------------------------------------------------------------
+# renderers — rendered text per experiment, built on the same reports
+
+
+def _join(blocks) -> str:
+    return "\n\n".join(blocks)
+
+
+def _run_table1(config: ExperimentConfig) -> str:
+    return _build_table1(config).table1()
+
+
+def _run_table2(config: ExperimentConfig) -> str:
+    return _build_table2(config).table2()
+
+
+def _run_fig2(config: ExperimentConfig) -> str:
+    return _build_fig2(config).figure2()
+
+
+def _run_fig3(config: ExperimentConfig) -> str:
+    return _join(r.figure3() for r in _build_classification(config))
+
+
+def _run_table3(config: ExperimentConfig) -> str:
+    return _join(r.table3() for r in _build_classification(config))
+
+
+def _run_table4(config: ExperimentConfig) -> str:
+    return table4(_build_table4(config))
 
 
 def _run_table5(config: ExperimentConfig) -> str:
-    xing, airbnb = _ranking_datasets(config)
-    blocks = [
-        run_ranking(xing, config, fair_ps=(0.5, 0.9), min_query_size=5).table5(),
-        run_ranking(airbnb, config, fair_ps=(0.5, 0.6), min_query_size=10).table5(),
-    ]
-    return "\n\n".join(blocks)
+    return _join(r.table5() for r in _build_table5(config))
 
 
 def _run_fig4(config: ExperimentConfig) -> str:
-    xing, airbnb = _ranking_datasets(config)
-    datasets = _classification_datasets(config) + [xing, airbnb]
-    return run_obfuscation_study(datasets, config).figure4()
+    return _build_fig4(config).figure4()
 
 
 def _run_fig5(config: ExperimentConfig) -> str:
-    xing, airbnb = _ranking_datasets(config)
-    blocks = [
-        run_posthoc(xing, config, min_query_size=5).figure5(),
-        run_posthoc(airbnb, config, min_query_size=10).figure5(),
-    ]
-    return "\n\n".join(blocks)
+    return _join(r.figure5() for r in _build_fig5(config))
 
 
 EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], str]] = {
@@ -130,12 +180,41 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], str]] = {
 }
 
 
-def run_experiment(
-    experiment_id: str, config: Optional[ExperimentConfig] = None
-) -> str:
-    """Run one registered experiment and return its rendered report."""
+def _check_experiment(experiment_id: str) -> None:
     if experiment_id not in EXPERIMENTS:
         raise ValidationError(
             f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
         )
+
+
+def run_experiment(
+    experiment_id: str, config: Optional[ExperimentConfig] = None
+) -> str:
+    """Run one registered experiment and return its rendered report."""
+    _check_experiment(experiment_id)
     return EXPERIMENTS[experiment_id](config or ExperimentConfig.fast())
+
+
+def run_experiment_dict(
+    experiment_id: str, config: Optional[ExperimentConfig] = None
+) -> Dict:
+    """Run one experiment and return a JSON-safe dict of its report.
+
+    Multi-dataset experiments (fig3/table3/table5/fig5) come back as
+    ``{"experiment": id, "blocks": [...]}``, one block per dataset.
+    """
+    from repro.pipeline.serialization import (
+        report_to_dict,
+        weight_sensitivity_to_dict,
+    )
+
+    _check_experiment(experiment_id)
+    built = EXPERIMENT_REPORTS[experiment_id](config or ExperimentConfig.fast())
+    if experiment_id == "table4":
+        return weight_sensitivity_to_dict(built)
+    if isinstance(built, list):
+        return {
+            "experiment": experiment_id,
+            "blocks": [report_to_dict(report) for report in built],
+        }
+    return report_to_dict(built)

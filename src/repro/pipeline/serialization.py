@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence
 from repro.exceptions import ValidationError
 from repro.pipeline.classification import ClassificationReport
 from repro.pipeline.datasets import DatasetsReport
+from repro.pipeline.motivation import MotivationReport
 from repro.pipeline.obfuscation import ObfuscationReport
 from repro.pipeline.posthoc import PosthocReport
 from repro.pipeline.ranking import RankingReport, WeightSensitivityRow
@@ -160,7 +161,26 @@ def datasets_to_dict(report: DatasetsReport) -> Dict:
     }
 
 
+def motivation_to_dict(report: MotivationReport) -> Dict:
+    return {
+        "experiment": "motivation",
+        "query": report.query,
+        "group_fair": report.group_fair,
+        "mean_rank_gap_similar_pairs": _clean(report.mean_rank_gap_similar_pairs),
+        "rows": [
+            {
+                "rank": r.rank,
+                "work_experience": _clean(r.work_experience),
+                "education_experience": _clean(r.education_experience),
+                "gender": r.gender,
+            }
+            for r in report.rows
+        ],
+    }
+
+
 _SERIALIZERS = {
+    MotivationReport: motivation_to_dict,
     ClassificationReport: classification_to_dict,
     RankingReport: ranking_to_dict,
     ObfuscationReport: obfuscation_to_dict,
@@ -203,7 +223,9 @@ def rows_to_csv(rows: Sequence[Dict]) -> str:
             if value is None:
                 value = ""
             text = str(value)
-            if "," in text or '"' in text:
+            # Quote separators, quotes, and line breaks — an unquoted
+            # newline would split one record across two CSV rows.
+            if any(ch in text for ch in (",", '"', "\n", "\r")):
                 text = '"' + text.replace('"', '""') + '"'
             cells.append(text)
         out.write(",".join(cells) + "\n")

@@ -1,0 +1,50 @@
+"""Online serving: persist fitted pipelines and answer live requests.
+
+The batch pipeline fits and measures; this package serves.  A fitted
+pipeline is packaged as a versioned directory artifact
+(:mod:`repro.serving.artifacts`), loaded into an
+:class:`~repro.serving.engine.InferenceEngine` (micro-batching, LRU
+caching, chunked evaluation), and exposed either in process
+(:class:`~repro.serving.client.InProcessClient`) or over a stdlib JSON
+HTTP API (:class:`~repro.serving.service.DecisionService`).
+
+Typical flow::
+
+    artifact = fit_serving_pipeline(generate_compas(1000, random_state=7))
+    save_artifact("artifacts/compas", artifact)
+    ...
+    engine = InferenceEngine(load_artifact("artifacts/compas"))
+    client = InProcessClient(engine)
+    client.decide(records, groups)
+"""
+
+from repro.serving.artifacts import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    ServingArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.serving.client import HTTPClient, InProcessClient, ServiceError
+from repro.serving.engine import InferenceEngine, LRUCache, MicroBatcher
+from repro.serving.fit import fit_serving_pipeline
+from repro.serving.service import DecisionService, RequestError, dispatch, serve_artifact
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "ServingArtifact",
+    "save_artifact",
+    "load_artifact",
+    "fit_serving_pipeline",
+    "InferenceEngine",
+    "LRUCache",
+    "MicroBatcher",
+    "DecisionService",
+    "RequestError",
+    "ServiceError",
+    "dispatch",
+    "serve_artifact",
+    "InProcessClient",
+    "HTTPClient",
+]

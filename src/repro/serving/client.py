@@ -1,0 +1,118 @@
+"""Clients for the decision service.
+
+Two transports, one contract: :class:`InProcessClient` calls the
+engine through the very same :func:`repro.serving.service.dispatch`
+function the HTTP handler uses, and :class:`HTTPClient` speaks JSON
+over a socket.  A test (or benchmark) parameterised over both clients
+therefore exercises identical request semantics, differing only in the
+wire.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.serving.engine import InferenceEngine
+from repro.serving.service import RequestError, dispatch
+
+
+class ServiceError(ReproError):
+    """The service answered with an error status."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class BaseClient:
+    """Endpoint helpers shared by both transports."""
+
+    def request(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        raise NotImplementedError
+
+    # -- the four serving verbs ----------------------------------------
+
+    def transform(self, records: List) -> List[List[float]]:
+        return self.request("POST", "/v1/transform", {"records": records})[
+            "transformed"
+        ]
+
+    def score(self, records: List) -> List[float]:
+        return self.request("POST", "/v1/score", {"records": records})["scores"]
+
+    def rank(
+        self,
+        records: List,
+        *,
+        top_k: Optional[int] = None,
+        groups: Optional[List] = None,
+    ) -> Dict:
+        payload: Dict = {"records": records}
+        if top_k is not None:
+            payload["top_k"] = top_k
+        if groups is not None:
+            payload["groups"] = groups
+        return self.request("POST", "/v1/rank", payload)
+
+    def decide(self, records: List, groups: List) -> Dict:
+        return self.request(
+            "POST", "/v1/decide", {"records": records, "groups": groups}
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def health(self) -> Dict:
+        return self.request("GET", "/v1/health")
+
+    def stats(self) -> Dict:
+        return self.request("GET", "/v1/stats")
+
+
+class InProcessClient(BaseClient):
+    """Drive an engine directly, bypassing sockets but not semantics."""
+
+    def __init__(self, engine: InferenceEngine):
+        self.engine = engine
+
+    def request(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        # Round-trip the payload through JSON so in-process callers can
+        # pass nothing the HTTP transport could not carry.
+        payload = json.loads(json.dumps(payload)) if payload is not None else None
+        try:
+            body = dispatch(self.engine, method, path, payload)
+        except RequestError as exc:
+            raise ServiceError(str(exc), status=exc.status)
+        return json.loads(json.dumps(body))
+
+
+class HTTPClient(BaseClient):
+    """Talk to a running :class:`~repro.serving.service.DecisionService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8351, timeout: float = 10.0):
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = float(timeout)
+
+    def request(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if method.upper() == "POST":
+            data = json.dumps(payload or {}).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as response:
+                body = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+            except (ValueError, UnicodeDecodeError):
+                message = str(exc)
+            raise ServiceError(message, status=exc.code)
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"service unreachable: {exc.reason}", status=503)
+        return body

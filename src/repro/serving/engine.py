@@ -1,0 +1,403 @@
+"""Online inference over a fitted serving artifact.
+
+The :class:`InferenceEngine` answers the four serving verbs —
+``transform``, ``score``, ``rank``, ``decide`` — on top of a
+:class:`~repro.serving.artifacts.ServingArtifact`.  Three mechanisms
+make it fit online traffic rather than batch experiments:
+
+* **micro-batching** — concurrent callers' records are coalesced into
+  one matrix pass through the model (leader/follower pattern: the
+  first caller in becomes the flusher for everything queued behind it);
+* **LRU caching** — the fair representation of each record is cached
+  under a hash of its raw bytes, so repeated records (hot users, retry
+  storms) skip the model entirely;
+* **chunked evaluation** — the model's ``(batch, K, N)`` distance
+  tensor is bounded by evaluating at most ``batch_size`` rows at a
+  time (see ``IFair.memberships``), so a single huge request cannot
+  blow memory.
+
+All request maths is delegated to the library layers the batch
+pipeline already trusts: ``IFair.transform`` for representations,
+``LogisticRegression`` for scores, ``GroupThresholdAdjuster`` for
+decisions, and :mod:`repro.ranking` / :mod:`repro.metrics` for ranking
+order and diagnostics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.schema import TabularDataset
+from repro.exceptions import ValidationError
+from repro.metrics.group import protected_share_at_k
+from repro.ranking.engine import RankingEvaluation, evaluate_scores
+from repro.ranking.query import Query
+from repro.serving.artifacts import ServingArtifact
+from repro.utils.validation import check_binary_labels
+
+
+class _PendingBatch:
+    """One caller's rows waiting inside the micro-batcher."""
+
+    __slots__ = ("rows", "event", "result", "error", "promoted")
+
+    def __init__(self, rows: np.ndarray):
+        self.rows = rows
+        self.event = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        self.promoted = False
+
+
+class MicroBatcher:
+    """Coalesce concurrent row batches into single model passes.
+
+    ``submit`` enqueues rows and blocks until a flush delivers their
+    results.  The first thread to find no flush in progress becomes the
+    *leader*: it optionally waits ``max_delay`` seconds for followers
+    to pile in, then runs ``fn`` once over every queued row and wakes
+    all waiters.  With ``max_delay=0`` a lone caller pays no latency —
+    coalescing then only captures rows that were already queued.
+    """
+
+    def __init__(self, fn, *, max_delay: float = 0.0):
+        if max_delay < 0:
+            raise ValidationError("max_delay must be non-negative")
+        self._fn = fn
+        self._max_delay = float(max_delay)
+        self._lock = threading.Lock()
+        self._queue: List[_PendingBatch] = []
+        self._flushing = False
+        self.n_flushes = 0
+        self.n_coalesced = 0
+
+    def submit(self, rows: np.ndarray) -> np.ndarray:
+        entry = _PendingBatch(rows)
+        with self._lock:
+            self._queue.append(entry)
+            leader = not self._flushing
+            if leader:
+                self._flushing = True
+        if leader:
+            if self._max_delay > 0:
+                time.sleep(self._max_delay)
+            self._drain(entry)
+        else:
+            entry.event.wait()
+            if entry.promoted and entry.result is None and entry.error is None:
+                # the previous leader finished its own work and handed
+                # the flush duty to us; our rows are still queued
+                self._drain(entry)
+        if entry.error is not None:
+            raise entry.error
+        assert entry.result is not None
+        return entry.result
+
+    def _drain(self, own: _PendingBatch) -> None:
+        """Leader loop: flush queued batches until done or handed off.
+
+        The ``_flushing`` flag stays set for the whole drain, so rows
+        arriving while a model pass is in flight queue up and ride the
+        *next* pass instead of starting their own.  Once the leader's
+        own rows are answered it hands leadership to the oldest queued
+        entry instead of draining forever — under a sustained request
+        stream this bounds every caller's latency to ~2 model passes
+        rather than starving whichever thread became leader first.
+        """
+        while True:
+            with self._lock:
+                if not self._queue:
+                    self._flushing = False
+                    return
+                if own.result is not None or own.error is not None:
+                    successor = self._queue[0]
+                    successor.promoted = True
+                    successor.event.set()
+                    return
+                batch, self._queue = self._queue, []
+            self._flush(batch)
+
+    def _flush(self, batch: List[_PendingBatch]) -> None:
+        self.n_flushes += 1
+        self.n_coalesced += len(batch) - 1
+        try:
+            stacked = np.concatenate([entry.rows for entry in batch], axis=0)
+            results = self._fn(stacked)
+            offset = 0
+            for entry in batch:
+                n = entry.rows.shape[0]
+                entry.result = results[offset : offset + n]
+                offset += n
+        except BaseException as exc:  # deliver the failure to every waiter
+            for entry in batch:
+                entry.error = exc
+        finally:
+            for entry in batch:
+                entry.event.set()
+
+
+class LRUCache:
+    """Thread-safe byte-key -> array LRU with hit/miss accounting."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValidationError("cache capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._store: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: bytes) -> Optional[np.ndarray]:
+        with self._lock:
+            value = self._store.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: bytes, value: np.ndarray) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+
+class InferenceEngine:
+    """Serve a fitted pipeline to online callers.
+
+    Parameters
+    ----------
+    artifact:
+        The fitted pipeline to serve.
+    batch_size:
+        Upper bound on rows per model evaluation (chunking).
+    cache_size:
+        Per-record representation cache capacity; 0 disables caching.
+    max_batch_delay:
+        Seconds the micro-batch leader waits for followers.  The
+        default 0 adds no latency; raise it (e.g. to 0.002) to trade
+        latency for throughput under heavy concurrency.
+    micro_batch:
+        Disable to bypass the batcher entirely (diagnostics only).
+    """
+
+    def __init__(
+        self,
+        artifact: ServingArtifact,
+        *,
+        batch_size: int = 256,
+        cache_size: int = 4096,
+        max_batch_delay: float = 0.0,
+        micro_batch: bool = True,
+    ):
+        if batch_size < 1:
+            raise ValidationError("batch_size must be a positive integer")
+        self.artifact = artifact
+        self.batch_size = int(batch_size)
+        self._cache = LRUCache(cache_size)
+        self._batcher = MicroBatcher(self._represent, max_delay=max_batch_delay)
+        self._micro_batch = bool(micro_batch)
+        self._lock = threading.Lock()
+        self.n_requests = 0
+        self.n_records = 0
+
+    # ------------------------------------------------------------------
+    # record ingestion
+
+    def _encode(self, records) -> np.ndarray:
+        """Raw request records -> the encoded numeric feature space."""
+        if self.artifact.encoder is not None:
+            X = self.artifact.encoder.transform(np.asarray(records, dtype=object))
+        else:
+            X = np.asarray(records, dtype=np.float64)
+            if X.ndim == 1:
+                X = X.reshape(1, -1)
+            if X.ndim != 2:
+                raise ValidationError("records must be a 2-D array-like")
+        if X.shape[0] == 0:
+            raise ValidationError("records must not be empty")
+        if X.shape[1] != self.artifact.n_features:
+            raise ValidationError(
+                f"records have {X.shape[1]} features, model expects "
+                f"{self.artifact.n_features}"
+            )
+        if not np.all(np.isfinite(X)):
+            raise ValidationError("records contain NaN or infinite values")
+        return X
+
+    def _represent(self, X: np.ndarray) -> np.ndarray:
+        """Encoded records -> fair representation (scaler + iFair)."""
+        if self.artifact.scaler is not None:
+            X = self.artifact.scaler.transform(X)
+        return self.artifact.model.transform(X, batch_size=self.batch_size)
+
+    @staticmethod
+    def _keys(X: np.ndarray) -> List[bytes]:
+        return [hashlib.blake2b(row.tobytes(), digest_size=16).digest() for row in X]
+
+    def _fair_representation(self, records) -> np.ndarray:
+        """Cache-aware path from raw records to fair representations."""
+        X = self._encode(records)
+        with self._lock:
+            self.n_requests += 1
+            self.n_records += X.shape[0]
+        if self._cache.capacity == 0:  # skip per-row hashing entirely
+            if self._micro_batch:
+                return self._batcher.submit(X)
+            return self._represent(X)
+        keys = self._keys(X)
+        Z = np.empty((X.shape[0], self.artifact.n_features))
+        miss_rows: List[int] = []
+        for i, key in enumerate(keys):
+            cached = self._cache.get(key)
+            if cached is None:
+                miss_rows.append(i)
+            else:
+                Z[i] = cached
+        if miss_rows:
+            X_miss = X[miss_rows]
+            if self._micro_batch:
+                Z_miss = self._batcher.submit(X_miss)
+            else:
+                Z_miss = self._represent(X_miss)
+            for j, i in enumerate(miss_rows):
+                Z[i] = Z_miss[j]
+                self._cache.put(keys[i], Z_miss[j].copy())
+        return Z
+
+    # ------------------------------------------------------------------
+    # serving verbs
+
+    def transform(self, records) -> np.ndarray:
+        """Fair representation of each record (Definition 3)."""
+        return self._fair_representation(records)
+
+    def score(self, records) -> np.ndarray:
+        """P(positive outcome) per record via the artifact's scorer."""
+        if self.artifact.scorer is None:
+            raise ValidationError(
+                "artifact carries no scorer; fit-save with a labelled dataset"
+            )
+        Z = self._fair_representation(records)
+        return self.artifact.scorer.predict_proba(Z)
+
+    def rank(
+        self,
+        records,
+        *,
+        top_k: Optional[int] = None,
+        groups=None,
+    ) -> Dict:
+        """Order the request's candidates by predicted score.
+
+        Returns the full ordering (best first), the per-record scores,
+        and — when per-record ``groups`` are supplied — the protected
+        share of the returned prefix (the paper's %protected measure).
+        """
+        scores = self.score(records)
+        order = np.argsort(-scores, kind="mergesort")
+        k = scores.size if top_k is None else int(top_k)
+        if k < 1:
+            raise ValidationError("top_k must be a positive integer")
+        k = min(k, scores.size)
+        result: Dict = {
+            "order": order[:k].tolist(),
+            "scores": scores.tolist(),
+            "top_k": k,
+        }
+        if groups is not None:
+            groups = check_binary_labels(groups, "groups", length=scores.size)
+            result["protected_share"] = protected_share_at_k(order, groups, k=k)
+        return result
+
+    def decide(self, records, groups) -> Dict:
+        """Accept/reject each record under the calibrated thresholds."""
+        if self.artifact.thresholds is None:
+            raise ValidationError(
+                "artifact carries no decision thresholds; fit-save with "
+                "--criterion to calibrate them"
+            )
+        scores = self.score(records)
+        groups = check_binary_labels(groups, "groups", length=scores.size)
+        decisions = self.artifact.thresholds.predict(scores, groups)
+        return {
+            "decisions": decisions.tolist(),
+            "scores": scores.tolist(),
+            "criterion": self.artifact.thresholds.criterion,
+            "thresholds": {
+                str(int(g)): t
+                for g, t in sorted(self.artifact.thresholds.thresholds_.items())
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # diagnostics
+
+    def evaluate_ranking(
+        self,
+        records,
+        true_scores,
+        groups,
+        *,
+        k: int = 10,
+    ) -> RankingEvaluation:
+        """Offline ranking quality of the served scores on one query.
+
+        Builds a single-query dataset from the request and reuses the
+        batch evaluation engine (:func:`repro.ranking.evaluate_scores`)
+        so online monitoring reports the same MAP/KT/yNN/%protected
+        numbers as the paper pipeline.
+        """
+        X = self._encode(records)
+        predicted = self.score(records)
+        dataset = TabularDataset(
+            name="serving-query",
+            X=X,
+            y=np.asarray(true_scores, dtype=np.float64).ravel(),
+            protected=check_binary_labels(groups, "groups", length=X.shape[0]),
+            protected_indices=self.artifact.protected_indices,
+            task="ranking",
+        )
+        query = Query(qid=0, indices=np.arange(X.shape[0], dtype=np.intp))
+        return evaluate_scores(dataset, [query], predicted, k=k)
+
+    def stats(self) -> Dict:
+        """Serving counters: traffic, cache behaviour, batching."""
+        hits, misses = self._cache.hits, self._cache.misses
+        lookups = hits + misses
+        return {
+            "requests": self.n_requests,
+            "records": self.n_records,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_ratio": (hits / lookups) if lookups else 0.0,
+            "cache_entries": len(self._cache),
+            "batch_flushes": self._batcher.n_flushes,
+            "coalesced_requests": self._batcher.n_coalesced,
+            "endpoints": sorted(self.endpoints()),
+        }
+
+    def endpoints(self) -> List[str]:
+        """Verbs this artifact can answer."""
+        verbs = ["transform"]
+        if self.artifact.scorer is not None:
+            verbs += ["score", "rank"]
+            if self.artifact.thresholds is not None:
+                verbs.append("decide")
+        return verbs

@@ -1,0 +1,219 @@
+"""JSON decision service over the inference engine (stdlib only).
+
+The HTTP layer is deliberately thin: every endpoint is implemented in
+:func:`dispatch`, a pure function from ``(engine, method, path,
+payload)`` to a JSON-safe dict.  The in-process client calls
+``dispatch`` directly and the HTTP handler calls it per request, so
+both request paths share one implementation and cannot drift apart.
+
+Endpoints
+---------
+``GET  /v1/health``     liveness + artifact metadata
+``GET  /v1/stats``      traffic / cache / batching counters
+``POST /v1/transform``  ``{"records": [[...], ...]}`` -> fair representations
+``POST /v1/score``      ``{"records": ...}`` -> outcome probabilities
+``POST /v1/rank``       ``{"records": ..., "top_k"?, "groups"?}`` -> ordering
+``POST /v1/decide``     ``{"records": ..., "groups": [...]}`` -> decisions
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ReproError, ValidationError
+from repro.serving.artifacts import load_artifact
+from repro.serving.engine import InferenceEngine
+
+MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+
+class RequestError(ValidationError):
+    """A malformed or unanswerable service request (HTTP 400/404)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def _require_records(payload: Dict):
+    if not isinstance(payload, dict):
+        raise RequestError("request body must be a JSON object")
+    if "records" not in payload:
+        raise RequestError("request body must carry a 'records' field")
+    records = payload["records"]
+    if not isinstance(records, list) or not records:
+        raise RequestError("'records' must be a non-empty JSON array")
+    return records
+
+
+def dispatch(
+    engine: InferenceEngine, method: str, path: str, payload: Optional[Dict]
+) -> Dict:
+    """Answer one service request; raises :class:`RequestError` on 4xx."""
+    payload = payload or {}
+    path = path.split("?", 1)[0]  # health probes may append query strings
+    route = (method.upper(), path.rstrip("/") or path)
+    if route == ("GET", "/v1/health"):
+        return {
+            "status": "ok",
+            "endpoints": engine.endpoints(),
+            "n_features": engine.artifact.n_features,
+            "metadata": engine.artifact.metadata,
+        }
+    if route == ("GET", "/v1/stats"):
+        return engine.stats()
+    try:
+        if route == ("POST", "/v1/transform"):
+            Z = engine.transform(_require_records(payload))
+            return {"transformed": Z.tolist()}
+        if route == ("POST", "/v1/score"):
+            scores = engine.score(_require_records(payload))
+            return {"scores": scores.tolist()}
+        if route == ("POST", "/v1/rank"):
+            records = _require_records(payload)
+            return engine.rank(
+                records,
+                top_k=payload.get("top_k"),
+                groups=payload.get("groups"),
+            )
+        if route == ("POST", "/v1/decide"):
+            records = _require_records(payload)
+            if "groups" not in payload:
+                raise RequestError("decide requires a 'groups' field")
+            return engine.decide(records, payload["groups"])
+    except RequestError:
+        raise
+    except ReproError as exc:
+        raise RequestError(str(exc))
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"malformed request: {exc}")
+    raise RequestError(f"no endpoint {method.upper()} {path}", status=404)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto :func:`dispatch`."""
+
+    server_version = "repro-serving/1"
+    protocol_version = "HTTP/1.1"
+
+    def _reply(self, status: int, body: Dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _handle(self, payload: Optional[Dict]) -> None:
+        try:
+            body = dispatch(self.server.engine, self.command, self.path, payload)
+        except RequestError as exc:
+            self._reply(exc.status, {"error": str(exc)})
+            return
+        self._reply(200, body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._handle(None)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_REQUEST_BYTES:
+            # The body is left unread, so the connection cannot be
+            # reused — without this a keep-alive client's next request
+            # would be parsed out of the unread body bytes.
+            self.close_connection = True
+            self._reply(400, {"error": "invalid or oversized request body"})
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"request body is not valid JSON: {exc}"})
+            return
+        self._handle(payload)
+
+    def log_message(self, format: str, *args) -> None:  # silence stderr
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class DecisionService:
+    """Own an engine + HTTP server; usable blocking or in-thread.
+
+    ``start()``/``stop()`` run the server on a daemon thread (tests,
+    notebooks); ``serve_forever()`` blocks (the CLI path).  Binding
+    port 0 picks a free port, exposed via :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8351,
+        verbose: bool = False,
+    ):
+        self.engine = engine
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.engine = engine
+        self._server.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) actually bound."""
+        return self._server.server_address[:2]
+
+    def start(self) -> "DecisionService":
+        if self._thread is not None:
+            raise ValidationError("service already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        try:
+            self._server.serve_forever()
+        finally:
+            self._server.server_close()
+
+    def __enter__(self) -> "DecisionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_artifact(
+    artifact_path: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8351,
+    batch_size: int = 256,
+    cache_size: int = 4096,
+    max_batch_delay: float = 0.0,
+    verbose: bool = False,
+) -> DecisionService:
+    """Load an artifact directory and build a (not yet started) service."""
+    engine = InferenceEngine(
+        load_artifact(artifact_path),
+        batch_size=batch_size,
+        cache_size=cache_size,
+        max_batch_delay=max_batch_delay,
+    )
+    return DecisionService(engine, host=host, port=port, verbose=verbose)

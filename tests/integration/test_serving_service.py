@@ -1,0 +1,187 @@
+"""End-to-end serving tests: artifact -> engine -> service -> clients.
+
+The same assertions run through the in-process client and the HTTP
+client (both built on the shared ``dispatch``), so a divergence between
+the two request paths fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    DecisionService,
+    HTTPClient,
+    InferenceEngine,
+    InProcessClient,
+    ServiceError,
+    fit_serving_pipeline,
+    load_artifact,
+    save_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(tiny_compas, tmp_path_factory):
+    artifact = fit_serving_pipeline(
+        tiny_compas, n_prototypes=4, max_iter=25, max_pairs=500, random_state=3
+    )
+    # Serve from a reloaded artifact so the whole persistence path is
+    # part of the loop under test.
+    path = save_artifact(str(tmp_path_factory.mktemp("artifacts") / "compas"), artifact)
+    return InferenceEngine(load_artifact(path), batch_size=32, cache_size=256)
+
+
+@pytest.fixture(scope="module")
+def service(engine):
+    with DecisionService(engine, port=0) as running:
+        yield running
+
+
+@pytest.fixture(scope="module", params=["in_process", "http"])
+def client(request, engine, service):
+    if request.param == "in_process":
+        return InProcessClient(engine)
+    host, port = service.address
+    return HTTPClient(host, port)
+
+
+@pytest.fixture(scope="module")
+def records(tiny_compas):
+    return tiny_compas.X[:10].tolist()
+
+
+@pytest.fixture(scope="module")
+def groups(tiny_compas):
+    return tiny_compas.protected[:10].tolist()
+
+
+class TestEndpoints:
+    def test_health(self, client):
+        body = client.health()
+        assert body["status"] == "ok"
+        assert set(body["endpoints"]) == {"transform", "score", "rank", "decide"}
+        assert body["metadata"]["dataset"] == "compas"
+
+    def test_transform(self, client, engine, records):
+        got = np.asarray(client.transform(records))
+        expected = engine.transform(records)
+        assert got.shape == expected.shape
+        assert np.allclose(got, expected, rtol=0, atol=0)
+
+    def test_score(self, client, engine, records):
+        got = np.asarray(client.score(records))
+        assert got.shape == (10,)
+        assert np.all((got >= 0) & (got <= 1))
+        assert np.array_equal(got, engine.score(records))
+
+    def test_rank(self, client, records, groups):
+        body = client.rank(records, top_k=5, groups=groups)
+        assert len(body["order"]) == 5
+        assert body["top_k"] == 5
+        scores = np.asarray(body["scores"])
+        assert np.all(np.diff(scores[np.asarray(body["order"])]) <= 1e-15)
+        assert 0.0 <= body["protected_share"] <= 1.0
+
+    def test_decide(self, client, records, groups):
+        body = client.decide(records, groups)
+        assert set(np.unique(body["decisions"])) <= {0.0, 1.0}
+        assert body["criterion"] == "parity"
+        assert set(body["thresholds"]) == {"0", "1"}
+
+    def test_health_with_query_string(self, client):
+        # load balancers append cache-busting query strings
+        body = client.request("GET", "/v1/health?ts=123")
+        assert body["status"] == "ok"
+
+    def test_stats(self, client):
+        body = client.stats()
+        assert body["records"] >= 0
+        assert 0.0 <= body["cache_hit_ratio"] <= 1.0
+
+    def test_both_transports_agree(self, engine, service, records, groups):
+        host, port = service.address
+        local, remote = InProcessClient(engine), HTTPClient(host, port)
+        assert local.score(records) == remote.score(records)
+        assert local.rank(records, top_k=3) == remote.rank(records, top_k=3)
+        assert local.decide(records, groups) == remote.decide(records, groups)
+
+
+class TestErrors:
+    def test_unknown_endpoint_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/v1/nope", {"records": [[1.0]]})
+        assert excinfo.value.status == 404
+
+    def test_missing_records_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/v1/score", {})
+        assert excinfo.value.status == 400
+
+    def test_wrong_width_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.score([[1.0, 2.0]])
+        assert excinfo.value.status == 400
+
+    def test_decide_without_groups_400(self, client, records):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/v1/decide", {"records": records})
+        assert excinfo.value.status == 400
+
+    def test_non_numeric_records_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/v1/score", {"records": [["a", "b"]]})
+        assert excinfo.value.status == 400
+
+    def test_invalid_json_body_400(self, service):
+        import urllib.error
+        import urllib.request
+
+        host, port = service.address
+        req = urllib.request.Request(
+            f"http://{host}:{port}/v1/score",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=5.0)
+        assert excinfo.value.code == 400
+
+
+class TestFreshProcessRoundTrip:
+    def test_reload_in_subprocess_is_bitwise_equal(
+        self, tiny_compas, tmp_path
+    ):
+        """A saved artifact reloaded in a *fresh interpreter* reproduces
+        transform output exactly (the acceptance criterion)."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        artifact = fit_serving_pipeline(
+            tiny_compas, n_prototypes=3, max_iter=15, max_pairs=300, random_state=3
+        )
+        path = save_artifact(str(tmp_path / "art"), artifact)
+        X = tiny_compas.X[:5]
+        expected = InferenceEngine(artifact).transform(X)
+        script = (
+            "import json, sys\n"
+            "import numpy as np\n"
+            "from repro.serving import load_artifact, InferenceEngine\n"
+            "engine = InferenceEngine(load_artifact(sys.argv[1]))\n"
+            "X = np.asarray(json.loads(sys.argv[2]))\n"
+            "print(json.dumps(engine.transform(X).tolist()))\n"
+        )
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        out = subprocess.run(
+            [sys.executable, "-c", script, path, json.dumps(X.tolist())],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=dict(os.environ, PYTHONPATH=src_dir),
+        )
+        got = np.asarray(json.loads(out.stdout))
+        assert np.array_equal(got, expected)

@@ -1,5 +1,7 @@
 """Tests for the repro CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -29,6 +31,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "table2", "--scale", "huge"])
 
+    def test_json_flag(self):
+        args = build_parser().parse_args(["run", "table2", "--json"])
+        assert args.json is True
+        assert build_parser().parse_args(["run", "table2"]).json is False
+
+    def test_fit_save_command(self):
+        args = build_parser().parse_args(
+            ["fit-save", "compas", "--out", "/tmp/a", "--n-prototypes", "5"]
+        )
+        assert args.command == "fit-save"
+        assert args.dataset == "compas"
+        assert args.n_prototypes == 5
+        assert args.criterion == "parity"
+
+    def test_fit_save_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit-save", "compas"])
+
+    def test_serve_command(self):
+        args = build_parser().parse_args(
+            ["serve", "--artifact", "/tmp/a", "--port", "9000"]
+        )
+        assert args.command == "serve"
+        assert args.port == 9000
+        assert args.batch_size == 256
+
 
 class TestMain:
     def test_list_prints_every_experiment(self, capsys):
@@ -45,3 +73,51 @@ class TestMain:
     def test_run_motivation(self, capsys):
         assert main(["run", "table1", "--seed", "3"]) == 0
         assert "Brand Strategist" in capsys.readouterr().out
+
+    def test_run_json_emits_machine_readable_report(self, capsys):
+        assert main(["run", "table2", "--seed", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "dataset_statistics"
+        assert {r["dataset"] for r in payload["rows"]} >= {"compas", "census"}
+
+    def test_run_json_motivation(self, capsys):
+        assert main(["run", "table1", "--seed", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "motivation"
+        assert payload["rows"]
+
+
+class TestServingCommands:
+    def test_fit_save_then_serve_round_trip(self, tmp_path, capsys):
+        out = str(tmp_path / "artifact")
+        code = main(
+            [
+                "fit-save",
+                "credit",
+                "--out",
+                out,
+                "--records",
+                "120",
+                "--n-prototypes",
+                "3",
+                "--max-iter",
+                "15",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "saved credit serving artifact" in capsys.readouterr().out
+
+        from repro.serving import InferenceEngine, InProcessClient, load_artifact
+
+        engine = InferenceEngine(load_artifact(out))
+        client = InProcessClient(engine)
+        assert client.health()["metadata"]["dataset"] == "credit"
+        n = engine.artifact.n_features
+        scores = client.score([[0.0] * n, [1.0] * n])
+        assert len(scores) == 2
+
+    def test_serve_unknown_artifact_errors(self, tmp_path, capsys):
+        assert main(["serve", "--artifact", str(tmp_path / "missing")]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -153,3 +153,46 @@ class TestBehaviour:
         text = repr(IFair(n_prototypes=7, mu_fair=2.0))
         assert "n_prototypes=7" in text
         assert "mu_fair=2.0" in text
+
+
+class TestChunkedTransform:
+    """batch_size chunking must be exactly equal to the one-shot path."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        X = np.random.default_rng(5).normal(size=(60, 6))
+        model = IFair(
+            n_prototypes=4, n_restarts=1, max_iter=40, random_state=0,
+            max_pairs=400,
+        ).fit(X, [5])
+        return model, X
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 32, 60, 1000])
+    def test_memberships_chunking_exact(self, fitted, batch_size):
+        model, X = fitted
+        full = model.memberships(X)
+        chunked = model.memberships(X, batch_size=batch_size)
+        assert np.array_equal(full, chunked)
+
+    @pytest.mark.parametrize("batch_size", [1, 13, 64])
+    def test_transform_chunking_exact(self, fitted, batch_size):
+        model, X = fitted
+        assert np.array_equal(
+            model.transform(X), model.transform(X, batch_size=batch_size)
+        )
+
+    @pytest.mark.parametrize("p", [1.0, 3.0])
+    def test_chunking_exact_for_general_p(self, p):
+        X = np.random.default_rng(6).normal(size=(30, 4))
+        model = IFair(
+            n_prototypes=3, p=p, n_restarts=1, max_iter=25, random_state=1,
+            max_pairs=200,
+        ).fit(X, [3])
+        assert np.array_equal(
+            model.memberships(X), model.memberships(X, batch_size=11)
+        )
+
+    def test_invalid_batch_size_rejected(self, fitted):
+        model, X = fitted
+        with pytest.raises(ValidationError):
+            model.memberships(X, batch_size=0)

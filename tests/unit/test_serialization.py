@@ -144,6 +144,18 @@ class TestCsv:
         csv = rows_to_csv([{"name": 'has,comma "quoted"'}])
         assert '"has,comma ""quoted"""' in csv
 
+    def test_newlines_quoted(self):
+        # Regression: unquoted embedded newlines split one record
+        # across two CSV rows.
+        csv = rows_to_csv([{"note": "line one\nline two", "x": 1}])
+        lines = csv.splitlines()
+        assert lines[0] == "note,x"
+        assert csv == 'note,x\n"line one\nline two",1\n'
+
+    def test_carriage_return_quoted(self):
+        csv = rows_to_csv([{"note": "a\rb"}])
+        assert '"a\rb"' in csv
+
     def test_none_rendered_empty(self):
         csv = rows_to_csv([{"x": None}])
         assert csv.splitlines() == ["x", ""]

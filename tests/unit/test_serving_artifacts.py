@@ -1,0 +1,127 @@
+"""Tests for repro.serving.artifacts (save/load round trips)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.model import IFair
+from repro.learners.encoder import OneHotEncoder
+from repro.serving.artifacts import (
+    ARRAYS_NAME,
+    MANIFEST_NAME,
+    ArtifactError,
+    ServingArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.serving.fit import fit_serving_pipeline
+
+
+@pytest.fixture(scope="module")
+def artifact(tiny_compas):
+    return fit_serving_pipeline(
+        tiny_compas, n_prototypes=4, max_iter=25, max_pairs=500, random_state=3
+    )
+
+
+@pytest.fixture
+def saved(artifact, tmp_path):
+    return save_artifact(str(tmp_path / "art"), artifact)
+
+
+class TestRoundTrip:
+    def test_transform_bitwise_equal(self, artifact, saved, tiny_compas):
+        loaded = load_artifact(saved)
+        X = artifact.scaler.transform(tiny_compas.X[:20])
+        assert np.array_equal(
+            artifact.model.transform(X), loaded.model.transform(X)
+        )
+
+    def test_scaler_round_trip(self, artifact, saved):
+        loaded = load_artifact(saved)
+        assert np.array_equal(loaded.scaler.mean_, artifact.scaler.mean_)
+        assert np.array_equal(loaded.scaler.scale_, artifact.scaler.scale_)
+        assert loaded.scaler.with_mean == artifact.scaler.with_mean
+
+    def test_scorer_round_trip(self, artifact, saved):
+        loaded = load_artifact(saved)
+        assert np.array_equal(loaded.scorer.coef_, artifact.scorer.coef_)
+        assert loaded.scorer.intercept_ == artifact.scorer.intercept_
+
+    def test_thresholds_round_trip(self, artifact, saved):
+        loaded = load_artifact(saved)
+        assert loaded.thresholds.criterion == artifact.thresholds.criterion
+        assert loaded.thresholds.thresholds_ == artifact.thresholds.thresholds_
+
+    def test_metadata_and_names_round_trip(self, artifact, saved):
+        loaded = load_artifact(saved)
+        assert loaded.metadata["dataset"] == "compas"
+        assert loaded.feature_names == artifact.feature_names
+        assert np.array_equal(loaded.protected_indices, artifact.protected_indices)
+
+    def test_save_is_idempotent(self, artifact, saved):
+        save_artifact(saved, artifact)  # overwrite in place
+        loaded = load_artifact(saved)
+        assert np.array_equal(loaded.model.alpha_, artifact.model.alpha_)
+
+    def test_encoder_round_trip(self, tmp_path):
+        raw = np.array([[1.0, "a"], [2.0, "b"], [3.0, "a"]], dtype=object)
+        encoder = OneHotEncoder([1]).fit(raw)
+        X = encoder.transform(raw)
+        model = IFair(
+            n_prototypes=2, n_restarts=1, max_iter=15, random_state=0
+        ).fit(X)
+        art = ServingArtifact(model=model, protected_indices=[], encoder=encoder)
+        loaded = load_artifact(save_artifact(str(tmp_path / "enc"), art))
+        assert np.array_equal(loaded.encoder.transform(raw), X)
+        assert loaded.encoder.feature_names_ == encoder.feature_names_
+
+
+class TestValidation:
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ArtifactError):
+            ServingArtifact(model=IFair(), protected_indices=[])
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="manifest"):
+            load_artifact(str(tmp_path / "nope"))
+
+    def test_corrupt_manifest_rejected(self, saved):
+        with open(os.path.join(saved, MANIFEST_NAME), "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(ArtifactError, match="cannot read manifest"):
+            load_artifact(saved)
+
+    def test_missing_keys_rejected(self, saved):
+        with open(os.path.join(saved, MANIFEST_NAME), "w") as fh:
+            json.dump({"format": "repro-serving-artifact"}, fh)
+        with pytest.raises(ArtifactError, match="missing required keys"):
+            load_artifact(saved)
+
+    def test_unknown_version_rejected(self, saved):
+        path = os.path.join(saved, MANIFEST_NAME)
+        with open(path) as fh:
+            manifest = json.load(fh)
+        manifest["version"] = 99
+        with open(path, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(ArtifactError, match="version"):
+            load_artifact(saved)
+
+    def test_tampered_arrays_rejected(self, saved):
+        with open(os.path.join(saved, ARRAYS_NAME), "ab") as fh:
+            fh.write(b"\x00")
+        with pytest.raises(ArtifactError, match="checksum"):
+            load_artifact(saved)
+
+    def test_shape_mismatch_rejected(self, saved):
+        path = os.path.join(saved, MANIFEST_NAME)
+        with open(path) as fh:
+            manifest = json.load(fh)
+        manifest["model"]["shape"] = [1, 1]
+        with open(path, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(ArtifactError, match="shape"):
+            load_artifact(saved)
