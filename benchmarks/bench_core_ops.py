@@ -29,6 +29,14 @@ def objective():
 
 
 @pytest.fixture(scope="module")
+def objective_reference():
+    return IFairObjective(
+        X_MED, PROTECTED, lambda_util=1.0, mu_fair=1.0, n_prototypes=10,
+        fast_kernels=False,
+    )
+
+
+@pytest.fixture(scope="module")
 def theta(objective):
     return np.random.default_rng(1).uniform(0.1, 0.9, size=objective.n_params)
 
@@ -39,6 +47,20 @@ def test_ifair_loss(benchmark, objective, theta):
 
 def test_ifair_loss_and_grad(benchmark, objective, theta):
     benchmark(objective.loss_and_grad, theta)
+
+
+def test_ifair_loss_and_grad_reference(benchmark, objective_reference, theta):
+    """The einsum reference path — the fast-kernel speedup denominator."""
+    benchmark(objective_reference.loss_and_grad, theta)
+
+
+def test_ifair_loss_and_grad_issue_scale(benchmark):
+    """The ISSUE-2 acceptance configuration: M=2000, N=40, K=10, p=2."""
+    X = np.random.default_rng(3).normal(size=(2000, 40))
+    obj = IFairObjective(X, PROTECTED, n_prototypes=10)
+    theta = np.random.default_rng(1).uniform(0.1, 0.9, size=obj.n_params)
+    obj.loss_and_grad(theta)  # warm the workspace
+    benchmark.pedantic(obj.loss_and_grad, args=(theta,), rounds=5, iterations=1)
 
 
 def test_ifair_fit_small(benchmark):

@@ -1,0 +1,197 @@
+"""Machine-readable performance trajectory for the core hot path.
+
+Times the operations every experiment and serving request funnels
+through — ``IFairObjective.loss_and_grad`` (GEMM fast path *and* the
+einsum reference, so each run self-contains its own before/after),
+``IFair.fit``, ``IFair.transform`` and single-record serving latency —
+and appends one labelled entry to a JSON trajectory file
+(``BENCH_core.json`` by default).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --quick
+    PYTHONPATH=src python benchmarks/run_bench.py --label post-gemm \
+        --out BENCH_core.json
+
+``--quick`` keeps the whole run in the seconds range (CI smoke);
+without it each timing uses more repeats for stabler numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import IFair
+from repro.core.objective import IFairObjective
+from repro.data.schema import TabularDataset
+from repro.serving.engine import InferenceEngine
+from repro.serving.fit import fit_serving_pipeline
+
+# The ISSUE-2 acceptance configuration for the oracle timings.
+M, N, K = 2000, 40, 10
+PROTECTED = [38, 39]
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds over ``repeats`` calls (after warmup)."""
+    fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def bench_loss_and_grad(repeats: int) -> dict:
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(M, N))
+    theta = np.random.default_rng(1).uniform(0.1, 0.9, size=K * N + N)
+    timings = {}
+    for pairs_label, max_pairs in (("full", None), ("sampled50k", 50_000)):
+        for kernel_label, fast in (("fast", True), ("reference", False)):
+            obj = IFairObjective(
+                X,
+                PROTECTED,
+                n_prototypes=K,
+                max_pairs=max_pairs,
+                random_state=0,
+                fast_kernels=fast,
+            )
+            key = f"loss_and_grad_{pairs_label}_{kernel_label}_s"
+            timings[key] = _best_of(lambda o=obj: o.loss_and_grad(theta), repeats)
+    # Generic p must not regress: it runs the reference path either way.
+    obj_p3 = IFairObjective(
+        X, PROTECTED, n_prototypes=K, p=3.0, max_pairs=50_000, random_state=0
+    )
+    timings["loss_and_grad_sampled50k_p3_s"] = _best_of(
+        lambda: obj_p3.loss_and_grad(theta), repeats
+    )
+    timings["speedup_full"] = (
+        timings["loss_and_grad_full_reference_s"]
+        / timings["loss_and_grad_full_fast_s"]
+    )
+    timings["speedup_sampled"] = (
+        timings["loss_and_grad_sampled50k_reference_s"]
+        / timings["loss_and_grad_sampled50k_fast_s"]
+    )
+    return timings
+
+
+def bench_fit(repeats: int) -> dict:
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(400, 20))
+
+    def fit(n_jobs=None):
+        IFair(
+            n_prototypes=8,
+            n_restarts=2,
+            max_iter=30,
+            max_pairs=5000,
+            n_jobs=n_jobs,
+            random_state=0,
+        ).fit(X, [19])
+
+    return {
+        "fit_M400_N20_K8_r2_s": _best_of(fit, repeats),
+        "fit_M400_N20_K8_r2_jobs2_s": _best_of(lambda: fit(2), repeats),
+    }
+
+
+def bench_transform(repeats: int) -> dict:
+    rng = np.random.default_rng(3)
+    model = IFair(
+        n_prototypes=K, n_restarts=1, max_iter=10, max_pairs=2000, random_state=0
+    ).fit(rng.normal(size=(300, N)), [39])
+    X = rng.normal(size=(M, N))
+    return {"transform_M2000_N40_K10_s": _best_of(lambda: model.transform(X), repeats)}
+
+
+def bench_serving(repeats: int) -> dict:
+    rng = np.random.default_rng(4)
+    m, n = 400, 12
+    X = rng.normal(size=(m, n))
+    X[:, n - 1] = (rng.random(m) > 0.5).astype(float)
+    dataset = TabularDataset(
+        name="bench",
+        X=X,
+        y=(rng.random(m) > 0.5).astype(float),
+        protected=X[:, n - 1].copy(),
+        protected_indices=[n - 1],
+        task="classification",
+    )
+    artifact = fit_serving_pipeline(dataset, n_prototypes=8, max_iter=40, random_state=0)
+    engine = InferenceEngine(artifact, cache_size=0)
+    engine.transform(X[:1])  # warm up
+    latencies = []
+    for _ in range(max(50, repeats * 20)):
+        record = rng.normal(size=(1, n))
+        record[0, n - 1] = 0.0
+        start = time.perf_counter()
+        engine.transform(record)
+        latencies.append(time.perf_counter() - start)
+    latencies.sort()
+    return {
+        "serving_transform_1rec_p50_s": latencies[len(latencies) // 2],
+        "serving_transform_1rec_p99_s": latencies[int(len(latencies) * 0.99)],
+    }
+
+
+def run(label: str, quick: bool) -> dict:
+    repeats = 3 if quick else 10
+    entry = {
+        "label": label,
+        "quick": quick,
+        "config": {"M": M, "N": N, "K": K, "p": 2.0},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+    entry.update(bench_loss_and_grad(repeats))
+    entry.update(bench_fit(max(2, repeats // 2)))
+    entry.update(bench_transform(repeats))
+    entry.update(bench_serving(repeats))
+    return entry
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode")
+    parser.add_argument("--label", default="run", help="entry label in the trajectory")
+    parser.add_argument(
+        "--out", default="BENCH_core.json", help="trajectory JSON file to append to"
+    )
+    args = parser.parse_args()
+
+    entry = run(args.label, args.quick)
+    path = Path(args.out)
+    if path.exists():
+        doc = json.loads(path.read_text())
+    else:
+        doc = {"benchmark": "core-ops", "entries": []}
+    doc["entries"].append(entry)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print(f"wrote {path} ({len(doc['entries'])} entries)")
+    print(
+        "loss_and_grad full: fast "
+        f"{entry['loss_and_grad_full_fast_s'] * 1e3:.2f} ms, reference "
+        f"{entry['loss_and_grad_full_reference_s'] * 1e3:.2f} ms "
+        f"({entry['speedup_full']:.1f}x)"
+    )
+    print(
+        "loss_and_grad sampled: fast "
+        f"{entry['loss_and_grad_sampled50k_fast_s'] * 1e3:.2f} ms, reference "
+        f"{entry['loss_and_grad_sampled50k_reference_s'] * 1e3:.2f} ms "
+        f"({entry['speedup_sampled']:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

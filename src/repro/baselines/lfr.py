@@ -23,6 +23,11 @@ pre-specified protected group — exactly the limitation the paper
 addresses.  Gradients are analytic (the L_z term uses the sign
 subgradient); they are validated against finite differences in the
 property tests at points where no |.| argument is near zero.
+
+The distance matrix and its gradients use the same GEMM fast kernels
+as the iFair objective (:mod:`repro.utils.kernels`) — LFR's distance
+is always the ``p = 2`` weighted squared Euclidean, so no
+``(M, K, N)`` tensor is ever materialised.
 """
 
 from __future__ import annotations
@@ -34,7 +39,8 @@ import numpy as np
 from scipy import optimize
 
 from repro.exceptions import NotFittedError, ValidationError
-from repro.utils.mathkit import softmax
+from repro.utils import kernels
+from repro.utils.mathkit import softmax, weighted_minkowski_to_prototypes
 from repro.utils.rng import RandomStateLike, check_random_state, spawn_seeds
 from repro.utils.validation import check_binary_labels, check_matrix
 
@@ -71,6 +77,8 @@ class LFRObjective:
         self.n_prototypes = int(n_prototypes)
         self._mask1 = self.protected == 1
         self._mask0 = ~self._mask1
+        self._X_sq = self.X * self.X  # reused by the GEMM kernels
+        self._ws = kernels.Workspace()
 
     @property
     def n_features(self) -> int:
@@ -98,15 +106,20 @@ class LFRObjective:
         w = theta[k * n + n :]
         return V, alpha, w
 
-    def _memberships(self, V, alpha) -> Tuple[np.ndarray, np.ndarray]:
-        diff = self.X[:, None, :] - V[None, :, :]
-        d = (diff * diff) @ alpha
-        return softmax(-d, axis=1), diff
+    def _memberships(self, V, alpha) -> np.ndarray:
+        d = kernels.weighted_sq_dists_gemm(
+            self.X,
+            V,
+            alpha,
+            x_sq=self._X_sq,
+            out=self._ws.take("d", (self.X.shape[0], V.shape[0])),
+        )
+        return kernels.softmax_neg_inplace(d)  # aliases d's buffer
 
     def forward(self, theta) -> Tuple[float, float, float]:
         """(L_x, L_y, L_z) — unweighted components."""
         V, alpha, w = self.unpack(theta)
-        U, _ = self._memberships(V, alpha)
+        U = self._memberships(V, alpha)
         X_hat = U @ V
         resid = X_hat - self.X
         l_x = float(np.sum(resid * resid))
@@ -125,7 +138,7 @@ class LFRObjective:
     def loss_and_grad(self, theta) -> Tuple[float, np.ndarray]:
         """Analytic loss and gradient (sign subgradient for L_z)."""
         V, alpha, w = self.unpack(theta)
-        U, diff = self._memberships(V, alpha)
+        U = self._memberships(V, alpha)
         m = self.X.shape[0]
 
         X_hat = U @ V
@@ -161,12 +174,13 @@ class LFRObjective:
         Gz = np.where(self._mask1[:, None], sign[None, :] / n1, -sign[None, :] / n0)
         C += self.a_z * Gz
 
-        # --- through the softmax and the distances ---
+        # --- through the softmax and the distances (GEMM form) ---
         P = U * (C - np.sum(U * C, axis=1, keepdims=True))  # dL/d(-d) -> dL/ds
-        powed = diff * diff
-        grad_alpha = -np.einsum("mk,mkn->n", P, powed)
+        grad_alpha, grad_V_dist = kernels.sq_dist_backward(
+            P, self.X, V, alpha, x_sq=self._X_sq
+        )
         grad_V = U.T @ G_x
-        grad_V += 2.0 * alpha[None, :] * np.einsum("mk,mkn->kn", P, diff)
+        grad_V += grad_V_dist
 
         # --- w gradient ---
         grad_w = U.T @ (self.a_y * dLy_dyhat)
@@ -275,8 +289,9 @@ class LFR:
                 f"X has {X.shape[1]} features, model was fitted with "
                 f"{self.prototypes_.shape[1]}"
             )
-        diff = X[:, None, :] - self.prototypes_[None, :, :]
-        d = (diff * diff) @ self.alpha_
+        # Row-stable inference kernel: chunked evaluation of new
+        # records stays bitwise equal to one-shot evaluation.
+        d = weighted_minkowski_to_prototypes(X, self.prototypes_, self.alpha_, p=2.0)
         return softmax(-d, axis=1)
 
     def transform(self, X) -> np.ndarray:

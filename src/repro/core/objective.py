@@ -39,6 +39,51 @@ With :math:`G = \partial L / \partial \tilde X`:
 
 All of this is verified against central finite differences by the
 property tests in ``tests/property/test_gradients.py``.
+
+Fast kernels (GEMM derivation)
+------------------------------
+For the default ``p = 2`` the oracle never materialises the
+``(M, K, N)`` tensors above.  Expanding the square turns the distance
+matrix into three matrix products,
+
+.. math::
+
+    d_{ik} = (X^{\circ 2} \alpha)_i
+             - 2 \bigl(X (\alpha \circ V)^T\bigr)_{ik}
+             + (V^{\circ 2} \alpha)_k,
+
+and the backward pass collapses the same way: with the softmax-Jacobian
+product :math:`P` from above,
+
+.. math::
+
+    \sum_m P_{mk} (x_{mn} - v_{kn})
+        &= (P^T X)_{kn} - \mathrm{colsum}(P)_k\, v_{kn}, \\
+    \sum_{mk} P_{mk} (x_{mn} - v_{kn})^2
+        &= \mathrm{rowsum}(P)^T X^{\circ 2}
+           - 2 \sum_k (P^T X \circ V)_{kn}
+           + \mathrm{colsum}(P)^T V^{\circ 2},
+
+so ``grad_V`` and ``grad_alpha`` share one ``(K, N)`` GEMM
+(:math:`P^T X`).  Peak extra allocation drops from ``O(M*K*N)`` to
+``O(M*K + M*N)`` and the big per-iteration intermediates live in a
+thread-local workspace reused across L-BFGS evaluations.
+
+The fairness term gets the same treatment: the full ordered-pair loss
+and its ``dL/dX_tilde`` contribution are evaluated in *moment form*
+(:class:`repro.utils.kernels.FullPairFairness`) — expanding
+:math:`\tilde D_{ij} = \|\tilde x_i\|^2 + \|\tilde x_j\|^2 - 2
+\langle \tilde x_i, \tilde x_j \rangle` collapses every
+:math:`O(M^2)` pair sum into Gram-matrix contractions costing
+``O(M*N^2)`` — and the sampled-pair gather/scatter runs through a
+precomputed sparse incidence operator
+(:class:`repro.utils.kernels.PairScatter`) instead of ``np.add.at``.
+The kernels live in :mod:`repro.utils.kernels`; the
+original einsum implementation is kept verbatim as the generic-``p``
+fallback (and as the reference that the property tests in
+``tests/property/test_kernel_equivalence.py`` hold the fast path to,
+at ``rtol = 1e-10``).  Construct with ``fast_kernels=False`` to force
+the reference path.
 """
 
 from __future__ import annotations
@@ -48,6 +93,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.utils import kernels
 from repro.utils.mathkit import pairwise_sq_euclidean, softmax
 from repro.utils.rng import RandomStateLike, check_random_state
 from repro.utils.validation import (
@@ -78,6 +124,10 @@ class IFairObjective:
         otherwise pairs are sampled once at construction.
     random_state:
         Seeds the pair subsample only.
+    fast_kernels:
+        Use the GEMM fast path for ``p == 2`` (see module docstring).
+        ``False`` forces the reference einsum implementation; generic
+        ``p`` always uses the reference path.
     """
 
     def __init__(
@@ -91,6 +141,7 @@ class IFairObjective:
         p: float = 2.0,
         max_pairs: Optional[int] = None,
         random_state: RandomStateLike = 0,
+        fast_kernels: bool = True,
     ):
         self.X = check_matrix(X, "X")
         m, n = self.X.shape
@@ -112,11 +163,30 @@ class IFairObjective:
         self.mu_fair = float(mu_fair)
         self.n_prototypes = int(n_prototypes)
         self.p = float(p)
+        self.fast_kernels = bool(fast_kernels)
+        # Snapshot the path decision: the fast-path support structures
+        # below exist only when it is taken at construction time.
+        self._use_fast = self.fast_kernels and self.p == 2.0
+        # X is fixed for the objective's lifetime, so its elementwise
+        # square (used by the GEMM forward and grad_alpha) is computed
+        # once.  Workspace buffers are thread-local, so one objective
+        # can serve parallel restarts.
+        self._X_sq = self.X * self.X if self._use_fast else None
+        self._ws = kernels.Workspace()
 
         X_star = self.X[:, self.nonprotected]
+        self._fair_full: Optional[kernels.FullPairFairness] = None
+        self._pair_scatter: Optional[kernels.PairScatter] = None
         if max_pairs is None:
             self._pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
-            self._d_star = pairwise_sq_euclidean(X_star)
+            if self._use_fast:
+                # Moment form needs only O(M + N^2) precomputed X*
+                # statistics — the dense (M, M) target matrix is a
+                # reference-path-only structure.
+                self._fair_full = kernels.FullPairFairness(X_star)
+                self._d_star = None
+            else:
+                self._d_star = pairwise_sq_euclidean(X_star)
         else:
             if max_pairs < 1:
                 raise ValidationError("max_pairs must be positive")
@@ -129,6 +199,8 @@ class IFairObjective:
             self._pairs = (ii, jj)
             diff = X_star[ii] - X_star[jj]
             self._d_star = np.sum(diff * diff, axis=1)
+            if self._use_fast:
+                self._pair_scatter = kernels.PairScatter(ii, jj, m)
 
     # ------------------------------------------------------------------
     # Parameter packing
@@ -172,7 +244,17 @@ class IFairObjective:
     # ------------------------------------------------------------------
 
     def _distances(self, V: np.ndarray, alpha: np.ndarray) -> np.ndarray:
-        """d[i, k] = sum_n alpha_n |x_in - v_kn|^p, shape (M, K)."""
+        """d[i, k] = sum_n alpha_n |x_in - v_kn|^p, shape (M, K).
+
+        The returned array may be a reusable workspace buffer on the
+        fast path — copy it before the next oracle call if it must
+        survive.
+        """
+        if self._use_fast:
+            m, k = self.X.shape[0], V.shape[0]
+            return kernels.weighted_sq_dists_gemm(
+                self.X, V, alpha, x_sq=self._X_sq, out=self._ws.take("d", (m, k))
+            )
         diff = self.X[:, None, :] - V[None, :, :]
         if self.p == 2.0:
             powed = diff * diff
@@ -204,11 +286,16 @@ class IFairObjective:
 
     def _fair_loss(self, X_tilde: np.ndarray) -> float:
         if self._pairs is None:
+            if self._fair_full is not None:
+                return self._fair_full.loss(X_tilde)
             d_tilde = pairwise_sq_euclidean(X_tilde)
             err = d_tilde - self._d_star
             return float(np.sum(err * err))
         ii, jj = self._pairs
-        diff = X_tilde[ii] - X_tilde[jj]
+        if self._pair_scatter is not None:
+            diff = self._pair_scatter.diffs(X_tilde)
+        else:
+            diff = X_tilde[ii] - X_tilde[jj]
         d_tilde = np.sum(diff * diff, axis=1)
         err = d_tilde - self._d_star
         return float(np.sum(err * err))
@@ -218,7 +305,73 @@ class IFairObjective:
     # ------------------------------------------------------------------
 
     def loss_and_grad(self, theta: np.ndarray) -> Tuple[float, np.ndarray]:
-        """Loss and analytic gradient w.r.t. the packed parameters."""
+        """Loss and analytic gradient w.r.t. the packed parameters.
+
+        Dispatches to the GEMM fast path for ``p == 2`` (see module
+        docstring) and to the reference einsum implementation for
+        generic ``p`` or when ``fast_kernels=False``.
+        """
+        if self._use_fast:
+            return self._loss_and_grad_fast(theta)
+        return self._loss_and_grad_reference(theta)
+
+    def _loss_and_grad_fast(self, theta: np.ndarray) -> Tuple[float, np.ndarray]:
+        """GEMM fast path for ``p == 2``; no (M, K, N) tensor is built.
+
+        All (M, K)- and (M, N)-sized intermediates live in reusable
+        thread-local workspace buffers; the returned gradient is a
+        fresh array (L-BFGS keeps a history of it).
+        """
+        V, alpha = self.unpack(theta)
+        X = self.X
+        m, n = X.shape
+        k = V.shape[0]
+        ws = self._ws
+
+        d = kernels.weighted_sq_dists_gemm(
+            X, V, alpha, x_sq=self._X_sq, out=ws.take("d", (m, k))
+        )
+        U = kernels.softmax_neg_inplace(d)  # aliases d's buffer
+        X_tilde = np.matmul(U, V, out=ws.take("x_tilde", (m, n)))
+        resid = np.subtract(X_tilde, X, out=ws.take("resid", (m, n)))
+        l_util = float(np.einsum("mn,mn->", resid, resid))
+
+        # dL/dX_tilde from both loss terms.
+        G = np.multiply(2.0 * self.lambda_util, resid, out=ws.take("g", (m, n)))
+        if self._pairs is None:
+            # Moment-form fairness: O(M * N^2), no (M, M) matrix.
+            l_fair, row, e_xt = self._fair_full.loss_row_grad(X_tilde)
+            e_xt -= row[:, None] * X_tilde
+            e_xt *= -8.0 * self.mu_fair
+            G += e_xt
+        else:
+            pd = self._pair_scatter.diffs(X_tilde)  # X_tilde[ii] - X_tilde[jj]
+            err = np.einsum("pn,pn->p", pd, pd)
+            err -= self._d_star
+            l_fair = float(err @ err)
+            pd *= (4.0 * self.mu_fair) * err[:, None]  # pair contributions
+            self._pair_scatter.scatter_add(G, pd)
+
+        loss = self.lambda_util * l_util + self.mu_fair * l_fair
+
+        # Through X_tilde = U V (grad_V before P overwrites C's buffer).
+        grad_V = U.T @ G  # (K, N)
+        C = np.matmul(G, V.T, out=ws.take("c", (m, k)))
+        # Softmax Jacobian: P = U * (C - rowsum(U * C)), in C's buffer.
+        C -= np.einsum("mk,mk->m", U, C)[:, None]
+        C *= U
+        grad_alpha, grad_V_dist = kernels.sq_dist_backward(
+            C, X, V, alpha, x_sq=self._X_sq
+        )
+        grad_V += grad_V_dist
+        return loss, np.concatenate([grad_V.ravel(), grad_alpha])
+
+    def _loss_and_grad_reference(self, theta: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Reference einsum implementation (generic ``p``).
+
+        Kept verbatim as the ground truth the fast path is tested
+        against; materialises the (M, K, N) difference tensors.
+        """
         V, alpha = self.unpack(theta)
         X = self.X
         m = X.shape[0]

@@ -39,7 +39,13 @@ class KNearestNeighbors(BaseEstimator):
         self._fitted = True
         return self
 
-    def kneighbors(self, Q=None, *, exclude_self: bool = False) -> np.ndarray:
+    def kneighbors(
+        self,
+        Q=None,
+        *,
+        exclude_self: bool = False,
+        block_size: Optional[int] = None,
+    ) -> np.ndarray:
         """Indices of the ``k`` nearest reference points per query row.
 
         Parameters
@@ -49,6 +55,15 @@ class KNearestNeighbors(BaseEstimator):
         exclude_self:
             When querying the reference set with itself, drop the
             trivial zero-distance self match (the yNN convention).
+        block_size:
+            Process at most this many query rows per distance-matrix
+            block, bounding peak memory at ``O(block_size * n_ref)``
+            instead of materialising the full ``(len(Q), n_ref)``
+            matrix.  Each query row's neighbours depend only on that
+            row, so blocked results equal the unblocked ones up to
+            exact distance ties (BLAS may round the last ulp of a
+            distance differently for different block heights, which
+            can reorder genuinely tied neighbours).
 
         Returns
         -------
@@ -61,17 +76,35 @@ class KNearestNeighbors(BaseEstimator):
                 f"query has {Q.shape[1]} features, index has {self._X.shape[1]}"
             )
         n_ref = self._X.shape[0]
-        k = self.k
-        budget = k + 1 if exclude_self else k
+        budget = self.k + 1 if exclude_self else self.k
         if budget > n_ref:
             raise ValidationError(
                 f"requested {budget} neighbours but index holds only {n_ref} points"
             )
+        if exclude_self and Q.shape[0] != n_ref:
+            raise ValidationError("exclude_self requires querying the indexed set")
+        if block_size is not None:
+            block_size = int(block_size)
+            if block_size < 1:
+                raise ValidationError("block_size must be a positive integer")
+        n_q = Q.shape[0]
+        if block_size is None or n_q <= block_size:
+            return self._kneighbors_block(Q, 0, exclude_self)
+        out = np.empty((n_q, self.k), dtype=np.intp)
+        for start in range(0, n_q, block_size):
+            stop = min(start + block_size, n_q)
+            out[start:stop] = self._kneighbors_block(Q[start:stop], start, exclude_self)
+        return out
+
+    def _kneighbors_block(
+        self, Q: np.ndarray, offset: int, exclude_self: bool
+    ) -> np.ndarray:
+        """Neighbour indices for query rows ``offset .. offset+len(Q)``."""
+        k = self.k
         D = pairwise_sq_euclidean(Q, self._X)
         if exclude_self:
-            if Q.shape[0] != n_ref:
-                raise ValidationError("exclude_self requires querying the indexed set")
-            np.fill_diagonal(D, np.inf)
+            rows = np.arange(Q.shape[0])
+            D[rows, offset + rows] = np.inf
         # argpartition for the k smallest, then sort those k by distance.
         part = np.argpartition(D, kth=k - 1, axis=1)[:, :k]
         row_d = np.take_along_axis(D, part, axis=1)

@@ -21,7 +21,15 @@ from repro.learners.knn import KNearestNeighbors
 from repro.utils.validation import check_matrix, check_vector
 
 
-def consistency(X_nonprotected, y_hat, k: int = 10) -> float:
+# Above this many records, the kNN search runs in row blocks so the
+# metric never materialises the full (M, M) distance matrix.
+_AUTO_BLOCK_THRESHOLD = 2048
+_AUTO_BLOCK_ROWS = 1024
+
+
+def consistency(
+    X_nonprotected, y_hat, k: int = 10, *, block_size: Optional[int] = None
+) -> float:
     """Consistency yNN of outcomes ``y_hat`` w.r.t. neighbours in X*.
 
     Parameters
@@ -34,6 +42,12 @@ def consistency(X_nonprotected, y_hat, k: int = 10) -> float:
         scores scaled to [0, 1].
     k:
         Neighbourhood size (the paper uses 10).
+    block_size:
+        Rows per kNN distance block.  Defaults to an automatic policy:
+        full-matrix search for small inputs, blocked search above
+        ~2k records so peak memory stays ``O(block * M)``.  Blocked
+        and unblocked searches return the same neighbours up to exact
+        distance ties.
     """
     X = check_matrix(X_nonprotected, "X_nonprotected")
     y_hat = check_vector(y_hat, "y_hat", length=X.shape[0])
@@ -41,8 +55,10 @@ def consistency(X_nonprotected, y_hat, k: int = 10) -> float:
         raise ValidationError(
             f"consistency with k={k} needs more than {k} records, got {X.shape[0]}"
         )
+    if block_size is None and X.shape[0] > _AUTO_BLOCK_THRESHOLD:
+        block_size = _AUTO_BLOCK_ROWS
     index = KNearestNeighbors(k=k).fit(X)
-    neighbors = index.kneighbors(exclude_self=True)
+    neighbors = index.kneighbors(exclude_self=True, block_size=block_size)
     diffs = np.abs(y_hat[:, None] - y_hat[neighbors])
     return float(1.0 - diffs.mean())
 

@@ -11,10 +11,14 @@ make it fit online traffic rather than batch experiments:
 * **LRU caching** — the fair representation of each record is cached
   under a hash of its raw bytes, so repeated records (hot users, retry
   storms) skip the model entirely;
-* **chunked evaluation** — the model's ``(batch, K, N)`` distance
-  tensor is bounded by evaluating at most ``batch_size`` rows at a
-  time (see ``IFair.memberships``), so a single huge request cannot
-  blow memory.
+* **chunked evaluation** — the model evaluates at most ``batch_size``
+  rows at a time (see ``IFair.memberships``), so a single huge request
+  cannot blow memory.  Each chunk goes through the row-stable kernels
+  of :mod:`repro.utils.kernels`, with bitwise-identical results for
+  any chunking; for models above the kernel's small-problem threshold
+  (``K * N > ~200``) that means ``O(batch * K)`` extra memory per
+  pass with no ``(batch, K, N)`` tensor, while tiny models use the
+  difference-tensor form where it is trivially small.
 
 All request maths is delegated to the library layers the batch
 pipeline already trusts: ``IFair.transform`` for representations,

@@ -1,5 +1,14 @@
 """Shared low-level utilities: RNG handling, validation, math kernels."""
 
+from repro.utils.kernels import (
+    FullPairFairness,
+    PairScatter,
+    Workspace,
+    softmax_neg_inplace,
+    sq_dist_backward,
+    weighted_sq_dists_gemm,
+    weighted_sq_dists_rowstable,
+)
 from repro.utils.rng import check_random_state, spawn_seeds
 from repro.utils.validation import (
     check_binary_labels,
@@ -16,6 +25,13 @@ from repro.utils.mathkit import (
 )
 
 __all__ = [
+    "FullPairFairness",
+    "PairScatter",
+    "Workspace",
+    "softmax_neg_inplace",
+    "sq_dist_backward",
+    "weighted_sq_dists_gemm",
+    "weighted_sq_dists_rowstable",
     "check_random_state",
     "spawn_seeds",
     "check_binary_labels",

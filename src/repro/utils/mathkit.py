@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.kernels import weighted_sq_dists_rowstable
+
 
 def softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``.
@@ -81,13 +83,14 @@ def weighted_minkowski_to_prototypes(
     X = np.asarray(X, dtype=np.float64)
     V = np.asarray(V, dtype=np.float64)
     alpha = np.asarray(alpha, dtype=np.float64)
-    diff = X[:, None, :] - V[None, :, :]
     if p == 2.0:
-        powed = diff * diff
+        # Expanded-square kernel: no (m, k, n) tensor, and row-stable,
+        # so chunked evaluation stays bitwise equal to one-shot.
+        d = weighted_sq_dists_rowstable(X, V, alpha)
     else:
-        powed = np.abs(diff) ** p
-    d = powed @ alpha
-    np.maximum(d, 0.0, out=d)
+        diff = X[:, None, :] - V[None, :, :]
+        d = np.abs(diff) ** p @ alpha
+        np.maximum(d, 0.0, out=d)
     if root:
         d = d ** (1.0 / p)
     return d

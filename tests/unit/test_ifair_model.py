@@ -75,6 +75,58 @@ class TestFit:
         with pytest.raises(ValidationError):
             IFair(protected_alpha_init=0.0)
 
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            IFair(n_jobs=0)
+        with pytest.raises(ValidationError):
+            IFair(n_jobs=-2)
+
+
+class TestParallelRestarts:
+    """n_jobs must change wall-clock behaviour only, never the model."""
+
+    @pytest.mark.parametrize("n_jobs", [2, 4, -1])
+    def test_parallel_fit_equals_sequential(self, data, n_jobs):
+        sequential = _fit(data, n_restarts=3)
+        parallel = _fit(data, n_restarts=3, n_jobs=n_jobs)
+        np.testing.assert_array_equal(sequential.prototypes_, parallel.prototypes_)
+        np.testing.assert_array_equal(sequential.alpha_, parallel.alpha_)
+        assert sequential.loss_ == parallel.loss_
+
+    def test_restart_records_keep_seed_order(self, data):
+        sequential = _fit(data, n_restarts=3)
+        parallel = _fit(data, n_restarts=3, n_jobs=3)
+        assert [r.seed for r in parallel.restarts_] == [
+            r.seed for r in sequential.restarts_
+        ]
+        assert [r.loss for r in parallel.restarts_] == [
+            r.loss for r in sequential.restarts_
+        ]
+
+    @pytest.mark.parametrize("n_jobs", [None, 3])
+    def test_tie_breaks_by_seed_order(self, data, monkeypatch, n_jobs):
+        # Force every restart to the same loss: the earliest seed's
+        # parameters must win regardless of completion order.
+        from repro.core.model import IFair, RestartRecord
+
+        def tied_run(self, objective, bounds, seed):
+            record = RestartRecord(
+                seed=seed, loss=1.0, n_iterations=1, converged=True
+            )
+            return record, np.full(objective.n_params, float(seed))
+
+        monkeypatch.setattr(IFair, "_run_restart", tied_run)
+        model = IFair(
+            n_prototypes=3, n_restarts=3, n_jobs=n_jobs, random_state=0
+        ).fit(data, [4])
+        first_seed = model.restarts_[0].seed
+        assert np.all(model.prototypes_ == float(first_seed))
+        assert np.all(model.alpha_ == float(first_seed))
+
+    def test_n_jobs_exceeding_restarts_is_capped(self, data):
+        model = _fit(data, n_restarts=2, n_jobs=16)
+        assert len(model.restarts_) == 2
+
 
 class TestTransform:
     def test_transform_before_fit_raises(self, data):

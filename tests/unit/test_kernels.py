@@ -1,0 +1,164 @@
+"""Tests for repro.utils.kernels (the GEMM fast-kernel layer)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.utils import kernels
+from repro.utils.mathkit import softmax
+
+
+@pytest.fixture
+def case(rng):
+    X = rng.normal(size=(25, 6))
+    V = rng.normal(size=(4, 6))
+    alpha = rng.uniform(0.1, 1.0, size=6)
+    return X, V, alpha
+
+
+def _tensor_dists(X, V, alpha):
+    diff = X[:, None, :] - V[None, :, :]
+    return (diff * diff) @ alpha
+
+
+class TestForwardKernels:
+    def test_gemm_matches_tensor(self, case):
+        X, V, alpha = case
+        np.testing.assert_allclose(
+            kernels.weighted_sq_dists_gemm(X, V, alpha),
+            _tensor_dists(X, V, alpha),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+    def test_rowstable_matches_tensor(self, case):
+        X, V, alpha = case
+        np.testing.assert_allclose(
+            kernels.weighted_sq_dists_rowstable(X, V, alpha),
+            _tensor_dists(X, V, alpha),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+    def test_gemm_precomputed_square_and_out(self, case):
+        X, V, alpha = case
+        out = np.empty((X.shape[0], V.shape[0]))
+        got = kernels.weighted_sq_dists_gemm(X, V, alpha, x_sq=X * X, out=out)
+        assert got is out
+        np.testing.assert_allclose(got, _tensor_dists(X, V, alpha), rtol=1e-12)
+
+    def test_distances_nonnegative(self, rng):
+        # Cancellation-prone case: records equal to a prototype.
+        V = rng.normal(size=(3, 5))
+        X = np.repeat(V, 4, axis=0)
+        alpha = rng.uniform(0.1, 1.0, size=5)
+        assert np.all(kernels.weighted_sq_dists_gemm(X, V, alpha) >= 0.0)
+        assert np.all(kernels.weighted_sq_dists_rowstable(X, V, alpha) >= 0.0)
+
+    @pytest.mark.parametrize("block", [1, 3, 7, 25])
+    @pytest.mark.parametrize("n_features", [6, 40])  # tensor / einsum branch
+    def test_rowstable_is_bitwise_chunk_stable(self, rng, block, n_features):
+        X = rng.normal(size=(25, n_features))
+        V = rng.normal(size=(8, n_features))
+        alpha = rng.uniform(0.1, 1.0, size=n_features)
+        full = kernels.weighted_sq_dists_rowstable(X, V, alpha)
+        chunked = np.vstack(
+            [
+                kernels.weighted_sq_dists_rowstable(X[s : s + block], V, alpha)
+                for s in range(0, X.shape[0], block)
+            ]
+        )
+        assert np.array_equal(full, chunked)
+
+    def test_rowstable_einsum_branch_matches_tensor(self, rng):
+        # Force the einsum branch (K * N above the dispatch threshold).
+        X = rng.normal(size=(12, 50))
+        V = rng.normal(size=(6, 50))
+        alpha = rng.uniform(0.1, 1.0, size=50)
+        np.testing.assert_allclose(
+            kernels.weighted_sq_dists_rowstable(X, V, alpha),
+            _tensor_dists(X, V, alpha),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+
+class TestSoftmaxNegInplace:
+    def test_matches_mathkit_softmax_bitwise(self, case):
+        X, V, alpha = case
+        d = kernels.weighted_sq_dists_gemm(X, V, alpha)
+        expected = softmax(-d, axis=1)
+        got = kernels.softmax_neg_inplace(d)
+        assert got is d  # in-place, same buffer
+        assert np.array_equal(got, expected)
+
+
+class TestBackwardKernel:
+    def test_matches_einsum_reference(self, case, rng):
+        X, V, alpha = case
+        P = rng.normal(size=(X.shape[0], V.shape[0]))
+        diff = X[:, None, :] - V[None, :, :]
+        ref_alpha = -np.einsum("mk,mkn->n", P, diff * diff)
+        ref_V = 2.0 * alpha[None, :] * np.einsum("mk,mkn->kn", P, diff)
+        got_alpha, got_V = kernels.sq_dist_backward(P, X, V, alpha)
+        np.testing.assert_allclose(got_alpha, ref_alpha, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(got_V, ref_V, rtol=1e-10, atol=1e-10)
+
+
+class TestPairScatter:
+    def test_diffs_bitwise_equal_fancy_indexing(self, rng):
+        X = rng.normal(size=(20, 5))
+        ii = rng.integers(0, 20, size=40)
+        jj = rng.integers(0, 20, size=40)
+        ps = kernels.PairScatter(ii, jj, 20)
+        assert np.array_equal(ps.diffs(X), X[ii] - X[jj])
+
+    def test_scatter_matches_add_at(self, rng):
+        m, n, n_pairs = 20, 5, 60
+        ii = rng.integers(0, m, size=n_pairs)
+        jj = rng.integers(0, m, size=n_pairs)
+        contrib = rng.normal(size=(n_pairs, n))
+        expected = rng.normal(size=(m, n))
+        got = expected.copy()
+        np.add.at(expected, ii, contrib)
+        np.add.at(expected, jj, -contrib)
+        kernels.PairScatter(ii, jj, m).scatter_add(got, contrib)
+        np.testing.assert_allclose(got, expected, rtol=1e-12, atol=1e-12)
+
+    def test_repeated_indices_accumulate(self):
+        G = np.zeros((3, 2))
+        ii = np.array([0, 0, 0])
+        jj = np.array([2, 2, 1])
+        kernels.PairScatter(ii, jj, 3).scatter_add(G, np.ones((3, 2)))
+        np.testing.assert_allclose(G[0], [3.0, 3.0])
+        np.testing.assert_allclose(G[1], [-1.0, -1.0])
+        np.testing.assert_allclose(G[2], [-2.0, -2.0])
+
+
+class TestWorkspace:
+    def test_buffers_are_reused(self):
+        ws = kernels.Workspace()
+        a = ws.take("a", (4, 3))
+        assert ws.take("a", (4, 3)) is a
+        # Shape change reallocates; original name keeps the new buffer.
+        b = ws.take("a", (5, 3))
+        assert b is not a
+        assert ws.take("a", (5, 3)) is b
+
+    def test_distinct_names_distinct_buffers(self):
+        ws = kernels.Workspace()
+        assert ws.take("x", (2, 2)) is not ws.take("y", (2, 2))
+
+    def test_thread_local_isolation(self):
+        ws = kernels.Workspace()
+        main_buf = ws.take("d", (8, 8))
+        seen = {}
+
+        def worker():
+            seen["buf"] = ws.take("d", (8, 8))
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["buf"] is not main_buf

@@ -68,3 +68,40 @@ class TestKNearestNeighbors:
         knn = KNearestNeighbors(k=1).fit(rng.normal(size=(5, 3)))
         with pytest.raises(ValidationError):
             knn.kneighbors(rng.normal(size=(2, 4)))
+
+
+class TestBlockedSearch:
+    """block_size bounds memory without changing any result."""
+
+    @pytest.mark.parametrize("block_size", [1, 3, 7, 16, 50, 1000])
+    def test_blocked_equals_unblocked(self, rng, block_size):
+        X = rng.normal(size=(40, 5))
+        Q = rng.normal(size=(23, 5))
+        knn = KNearestNeighbors(k=4).fit(X)
+        np.testing.assert_array_equal(
+            knn.kneighbors(Q), knn.kneighbors(Q, block_size=block_size)
+        )
+
+    @pytest.mark.parametrize("block_size", [1, 5, 13, 64])
+    def test_blocked_exclude_self_equals_unblocked(self, rng, block_size):
+        X = rng.normal(size=(30, 4))
+        knn = KNearestNeighbors(k=3).fit(X)
+        np.testing.assert_array_equal(
+            knn.kneighbors(exclude_self=True),
+            knn.kneighbors(exclude_self=True, block_size=block_size),
+        )
+
+    def test_blocked_self_exclusion_uses_global_row_ids(self, rng):
+        # The excluded diagonal entry of block b sits at column
+        # offset + row, not on the block's own diagonal.
+        X = rng.normal(size=(12, 3))
+        idx = KNearestNeighbors(k=5).fit(X).kneighbors(
+            exclude_self=True, block_size=4
+        )
+        for i, row in enumerate(idx):
+            assert i not in row
+
+    def test_invalid_block_size_rejected(self, rng):
+        knn = KNearestNeighbors(k=2).fit(rng.normal(size=(8, 2)))
+        with pytest.raises(ValidationError, match="block_size"):
+            knn.kneighbors(block_size=0)

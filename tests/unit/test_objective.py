@@ -95,7 +95,9 @@ class TestForward:
         # with no protected attributes: target distances = full
         # distances, so a perfect reconstruction gives zero fair loss.
         X = rng.normal(size=(6, 3))
-        obj = IFairObjective(X, None, n_prototypes=2)
+        # The dense D* target matrix exists on the reference path only;
+        # the fast path keeps just its moments.
+        obj = IFairObjective(X, None, n_prototypes=2, fast_kernels=False)
         # Simulate a perfect reconstruction by checking the loss formula
         # directly with X_tilde = X.
         d_tilde = pairwise_sq_euclidean(X)
