@@ -84,6 +84,63 @@ def bench_loss_and_grad(repeats: int) -> dict:
     return timings
 
 
+def bench_landmark(repeats: int, quick: bool) -> dict:
+    """Landmark oracle at large M, where the reference path cannot run.
+
+    At ``M = 20,000`` the reference full-pair path would allocate an
+    (M, M) float64 target (3.2 GB) — it is skipped by construction.
+    The moment-form fast path *can* run (O(M * N^2)) and provides the
+    exact full-pair fairness value the landmark rows are scored
+    against (``landmark*_fair_rel_err``), so each entry records the
+    accuracy-vs-cost frontier of the new mode.
+    """
+    m = 4000 if quick else 20_000
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(m, N))
+    theta = np.random.default_rng(6).uniform(0.1, 0.9, size=K * N + N)
+    timings: dict = {"landmark_M": m}
+
+    exact = IFairObjective(
+        X, PROTECTED, n_prototypes=K, random_state=0
+    )  # moment-form full pair
+    _, fair_exact = exact.loss_components(theta)
+    timings["loss_and_grad_full_fast_largeM_s"] = _best_of(
+        lambda: exact.loss_and_grad(theta), repeats
+    )
+
+    for n_land in (64, 256):
+        obj = IFairObjective(
+            X,
+            PROTECTED,
+            n_prototypes=K,
+            pair_mode="landmark",
+            n_landmarks=n_land,
+            random_state=0,
+        )
+        _, fair_lm = obj.loss_components(theta)
+        timings[f"loss_and_grad_landmark{n_land}_s"] = _best_of(
+            lambda o=obj: o.loss_and_grad(theta), repeats
+        )
+        timings[f"landmark{n_land}_fair_rel_err"] = abs(fair_lm - fair_exact) / fair_exact
+
+    # Generic p has no moment form: the landmark oracle is the only
+    # full-pair-quality option at this M (blocked kernels, no
+    # (M, K, N) tensor).
+    obj_p3 = IFairObjective(
+        X,
+        PROTECTED,
+        n_prototypes=K,
+        p=3.0,
+        pair_mode="landmark",
+        n_landmarks=128,
+        random_state=0,
+    )
+    timings["loss_and_grad_landmark128_p3_s"] = _best_of(
+        lambda: obj_p3.loss_and_grad(theta), repeats
+    )
+    return timings
+
+
 def bench_fit(repeats: int) -> dict:
     rng = np.random.default_rng(2)
     X = rng.normal(size=(400, 20))
@@ -154,6 +211,7 @@ def run(label: str, quick: bool) -> dict:
         "machine": platform.machine(),
     }
     entry.update(bench_loss_and_grad(repeats))
+    entry.update(bench_landmark(repeats, quick))
     entry.update(bench_fit(max(2, repeats // 2)))
     entry.update(bench_transform(repeats))
     entry.update(bench_serving(repeats))
@@ -190,6 +248,15 @@ def main() -> None:
         f"{entry['loss_and_grad_sampled50k_fast_s'] * 1e3:.2f} ms, reference "
         f"{entry['loss_and_grad_sampled50k_reference_s'] * 1e3:.2f} ms "
         f"({entry['speedup_sampled']:.1f}x)"
+    )
+    print(
+        f"landmark @ M={entry['landmark_M']}: L=64 "
+        f"{entry['loss_and_grad_landmark64_s'] * 1e3:.2f} ms "
+        f"(fair rel err {entry['landmark64_fair_rel_err']:.2e}), L=256 "
+        f"{entry['loss_and_grad_landmark256_s'] * 1e3:.2f} ms "
+        f"(rel err {entry['landmark256_fair_rel_err']:.2e}); "
+        f"p=3 L=128 {entry['loss_and_grad_landmark128_p3_s'] * 1e3:.2f} ms; "
+        "reference full-pair skipped (O(M^2) target)"
     )
 
 

@@ -28,6 +28,14 @@ The distance matrix and its gradients use the same GEMM fast kernels
 as the iFair objective (:mod:`repro.utils.kernels`) — LFR's distance
 is always the ``p = 2`` weighted squared Euclidean, so no
 ``(M, K, N)`` tensor is ever materialised.
+
+As an extension beyond Zemel et al., the objective accepts an optional
+*individual*-fairness regulariser ``mu_fair > 0``: the same landmark
+pair-distance term the iFair oracle uses at scale
+(:class:`repro.utils.kernels.LandmarkFairness`, O(M * L * N) per call,
+target distances on all attributes since LFR has no protected-column
+notion).  The default ``mu_fair = 0`` keeps the classic LFR objective
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from scipy import optimize
 
 from repro.exceptions import NotFittedError, ValidationError
 from repro.utils import kernels
+from repro.utils.landmarks import select_landmarks
 from repro.utils.mathkit import softmax, weighted_minkowski_to_prototypes
 from repro.utils.rng import RandomStateLike, check_random_state, spawn_seeds
 from repro.utils.validation import check_binary_labels, check_matrix
@@ -60,6 +69,10 @@ class LFRObjective:
         a_y: float = 1.0,
         a_z: float = 0.5,
         n_prototypes: int = 10,
+        mu_fair: float = 0.0,
+        n_landmarks: Optional[int] = None,
+        landmark_method: str = "kmeans++",
+        random_state: RandomStateLike = 0,
     ):
         self.X = check_matrix(X, "X")
         m, n = self.X.shape
@@ -67,6 +80,8 @@ class LFRObjective:
         self.protected = check_binary_labels(protected, "protected", length=m)
         if a_x < 0 or a_y < 0 or a_z < 0:
             raise ValidationError("A_x, A_y, A_z must be non-negative")
+        if mu_fair < 0:
+            raise ValidationError("mu_fair must be non-negative")
         if not np.any(self.protected == 1) or not np.any(self.protected == 0):
             raise ValidationError("LFR needs both protected and unprotected samples")
         if n_prototypes < 1 or n_prototypes >= m:
@@ -75,10 +90,20 @@ class LFRObjective:
         self.a_y = float(a_y)
         self.a_z = float(a_z)
         self.n_prototypes = int(n_prototypes)
+        self.mu_fair = float(mu_fair)
         self._mask1 = self.protected == 1
         self._mask0 = ~self._mask1
         self._X_sq = self.X * self.X  # reused by the GEMM kernels
         self._ws = kernels.Workspace()
+        self._fair: Optional[kernels.LandmarkFairness] = None
+        if self.mu_fair > 0.0:
+            # LFR has no protected-column notion, so the individual-
+            # fairness target distances use every attribute.
+            n_land = min(m, 128) if n_landmarks is None else min(int(n_landmarks), m)
+            idx = select_landmarks(
+                self.X, n_land, method=landmark_method, random_state=random_state
+            )
+            self._fair = kernels.LandmarkFairness(self.X, idx, scale=m / idx.size)
 
     @property
     def n_features(self) -> int:
@@ -116,8 +141,8 @@ class LFRObjective:
         )
         return kernels.softmax_neg_inplace(d)  # aliases d's buffer
 
-    def forward(self, theta) -> Tuple[float, float, float]:
-        """(L_x, L_y, L_z) — unweighted components."""
+    def _forward_parts(self, theta):
+        """One membership evaluation feeding every loss component."""
         V, alpha, w = self.unpack(theta)
         U = self._memberships(V, alpha)
         X_hat = U @ V
@@ -129,11 +154,19 @@ class LFRObjective:
         )
         gap = U[self._mask1].mean(axis=0) - U[self._mask0].mean(axis=0)
         l_z = float(np.sum(np.abs(gap)))
+        return X_hat, l_x, l_y, l_z
+
+    def forward(self, theta) -> Tuple[float, float, float]:
+        """(L_x, L_y, L_z) — unweighted components."""
+        _, l_x, l_y, l_z = self._forward_parts(theta)
         return l_x, l_y, l_z
 
     def loss(self, theta) -> float:
-        l_x, l_y, l_z = self.forward(theta)
-        return self.a_x * l_x + self.a_y * l_y + self.a_z * l_z
+        X_hat, l_x, l_y, l_z = self._forward_parts(theta)
+        total = self.a_x * l_x + self.a_y * l_y + self.a_z * l_z
+        if self._fair is not None:
+            total += self.mu_fair * self._fair.loss(X_hat)
+        return total
 
     def loss_and_grad(self, theta) -> Tuple[float, np.ndarray]:
         """Analytic loss and gradient (sign subgradient for L_z)."""
@@ -160,6 +193,12 @@ class LFRObjective:
 
         # --- gradient w.r.t. U (collect all three paths) ---
         G_x = 2.0 * self.a_x * resid  # dL/dX_hat
+        if self._fair is not None:
+            # Landmark individual-fairness extension, through X_hat.
+            l_fair, g_fair = self._fair.loss_and_grad_x(X_hat)
+            loss += self.mu_fair * l_fair
+            g_fair *= self.mu_fair
+            G_x = G_x + g_fair
         C = G_x @ V.T  # via X_hat = U V
         # L_y path: dL_y/dy_hat, zero where clipped.
         inside = (y_lin > _CLIP) & (y_lin < 1.0 - _CLIP)
@@ -203,7 +242,10 @@ class LFR:
     Parameters mirror Zemel et al.: ``a_x``/``a_y``/``a_z`` weight
     reconstruction, accuracy and parity; ``n_prototypes`` is K.
     ``fit`` requires labels and a protected-group indicator — the very
-    coupling iFair removes.
+    coupling iFair removes.  ``mu_fair > 0`` additionally enables the
+    landmark individual-fairness regulariser (``n_landmarks`` anchors,
+    seeded by ``landmark_method`` under ``random_state``); the default
+    ``0`` is the classic objective.
     """
 
     def __init__(
@@ -213,6 +255,9 @@ class LFR:
         a_y: float = 1.0,
         a_z: float = 0.5,
         *,
+        mu_fair: float = 0.0,
+        n_landmarks: Optional[int] = None,
+        landmark_method: str = "kmeans++",
         n_restarts: int = 3,
         max_iter: int = 200,
         tol: float = 1e-6,
@@ -224,6 +269,9 @@ class LFR:
         self.a_x = float(a_x)
         self.a_y = float(a_y)
         self.a_z = float(a_z)
+        self.mu_fair = float(mu_fair)
+        self.n_landmarks = n_landmarks
+        self.landmark_method = landmark_method
         self.n_restarts = int(n_restarts)
         self.max_iter = int(max_iter)
         self.tol = float(tol)
@@ -245,6 +293,10 @@ class LFR:
             a_y=self.a_y,
             a_z=self.a_z,
             n_prototypes=self.n_prototypes,
+            mu_fair=self.mu_fair,
+            n_landmarks=self.n_landmarks,
+            landmark_method=self.landmark_method,
+            random_state=self.random_state,
         )
         k, n = objective.n_prototypes, objective.n_features
         bounds = (

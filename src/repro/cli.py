@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.exceptions import ReproError
@@ -72,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable JSON instead of rendered tables",
     )
+    _add_pair_mode_flags(run)
 
     fit = sub.add_parser(
         "fit-save",
@@ -103,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument(
         "--seed", type=int, default=7, help="master random seed (default 7)"
     )
+    _add_pair_mode_flags(fit)
 
     serve = sub.add_parser("serve", help="serve a saved artifact over HTTP")
     serve.add_argument("--artifact", required=True, help="artifact directory")
@@ -129,14 +132,61 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _config(scale: str, seed: int) -> ExperimentConfig:
-    if scale == "paper":
-        return ExperimentConfig.paper(random_state=seed)
-    return ExperimentConfig.fast(random_state=seed)
+def _add_pair_mode_flags(parser: argparse.ArgumentParser) -> None:
+    """Fairness-oracle flags shared by ``run`` and ``fit-save``."""
+    parser.add_argument(
+        "--pair-mode",
+        choices=("auto", "full", "sampled", "landmark"),
+        default="auto",
+        help=(
+            "fairness-oracle mode for iFair fits: landmark enables the "
+            "O(M*L*N) large-M oracle (default auto)"
+        ),
+    )
+    parser.add_argument(
+        "--landmarks",
+        type=int,
+        default=None,
+        metavar="L",
+        help="anchor count for --pair-mode landmark (default min(M, 128))",
+    )
+    parser.add_argument(
+        "--landmark-method",
+        choices=("kmeans++", "farthest"),
+        default="kmeans++",
+        help="landmark seeding strategy (default kmeans++)",
+    )
+
+
+def _check_pair_mode_args(args) -> None:
+    """Landmark knobs require the landmark oracle — fail loudly rather
+    than silently running a different pair mode than the user asked
+    for (both ``run`` and ``fit-save`` share this contract)."""
+    if args.pair_mode != "landmark":
+        if args.landmarks is not None:
+            raise ReproError("--landmarks requires --pair-mode landmark")
+        if args.landmark_method != "kmeans++":
+            raise ReproError("--landmark-method requires --pair-mode landmark")
+
+
+def _config(args) -> ExperimentConfig:
+    _check_pair_mode_args(args)
+    if args.scale == "paper":
+        config = ExperimentConfig.paper(random_state=args.seed)
+    else:
+        config = ExperimentConfig.fast(random_state=args.seed)
+    if args.pair_mode != "auto":
+        config = replace(
+            config,
+            pair_mode=args.pair_mode,
+            n_landmarks=args.landmarks,
+            landmark_method=args.landmark_method,
+        )
+    return config
 
 
 def _cmd_run(args) -> int:
-    config = _config(args.scale, args.seed)
+    config = _config(args)
     targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.json:
         results = {target: run_experiment_dict(target, config) for target in targets}
@@ -153,6 +203,8 @@ def _cmd_fit_save(args) -> int:
     from repro.data import generate_census, generate_compas, generate_credit
     from repro.serving import fit_serving_pipeline, save_artifact
 
+    _check_pair_mode_args(args)
+
     if args.dataset == "compas":
         dataset = generate_compas(args.records, random_state=args.seed)
     elif args.dataset == "census":
@@ -166,6 +218,9 @@ def _cmd_fit_save(args) -> int:
         mu_fair=args.mu_fair,
         criterion=args.criterion,
         max_iter=args.max_iter,
+        pair_mode=args.pair_mode,
+        n_landmarks=args.landmarks,
+        landmark_method=args.landmark_method,
         random_state=args.seed,
     )
     path = save_artifact(args.out, artifact)

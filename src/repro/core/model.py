@@ -25,8 +25,9 @@ from typing import List, Optional, Tuple
 import numpy as np
 from scipy import optimize
 
-from repro.core.objective import IFairObjective
+from repro.core.objective import PAIR_MODES, IFairObjective
 from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.landmarks import LANDMARK_METHODS
 from repro.utils.mathkit import softmax, weighted_minkowski_to_prototypes
 from repro.utils.rng import RandomStateLike, check_random_state, spawn_seeds
 from repro.utils.validation import check_matrix, check_protected_indices
@@ -69,6 +70,19 @@ class IFair:
         L-BFGS gradient tolerance.
     max_pairs:
         Optional cap on fairness-loss pairs (subsampled once per fit).
+    pair_mode:
+        Fairness-oracle mode: ``"auto"`` (default; ``"sampled"`` iff
+        ``max_pairs`` is set, else ``"full"``), ``"full"``,
+        ``"sampled"``, or ``"landmark"`` — the large-M oracle that
+        approximates the full-pair loss through ``n_landmarks``
+        anchors in O(M * L * N) per L-BFGS evaluation, for any ``p``,
+        with no O(M^2) structure anywhere.
+    n_landmarks:
+        Anchor count for ``pair_mode="landmark"`` (default
+        ``min(M, 128)``; capped at M).
+    landmark_method:
+        ``"kmeans++"`` (default) or ``"farthest"`` anchor seeding,
+        deterministic under ``random_state``.
     n_jobs:
         Number of restarts optimised concurrently.  ``None`` or ``1``
         runs them sequentially; ``-1`` uses one worker per CPU.
@@ -89,6 +103,9 @@ class IFair:
         Best training loss.
     restarts_:
         Per-restart diagnostics.
+    landmarks_:
+        Sorted anchor row indices of the training matrix when fitted
+        with ``pair_mode="landmark"``, else ``None``.
     """
 
     def __init__(
@@ -104,6 +121,9 @@ class IFair:
         max_iter: int = 200,
         tol: float = 1e-6,
         max_pairs: Optional[int] = None,
+        pair_mode: str = "auto",
+        n_landmarks: Optional[int] = None,
+        landmark_method: str = "kmeans++",
         n_jobs: Optional[int] = None,
         random_state: RandomStateLike = 0,
     ):
@@ -113,6 +133,14 @@ class IFair:
             raise ValidationError("n_restarts must be at least 1")
         if not 0 < protected_alpha_init < 1:
             raise ValidationError("protected_alpha_init must lie in (0, 1)")
+        if pair_mode not in PAIR_MODES:
+            raise ValidationError(f"pair_mode must be one of {PAIR_MODES}")
+        if landmark_method not in LANDMARK_METHODS:
+            raise ValidationError(
+                f"landmark_method must be one of {LANDMARK_METHODS}"
+            )
+        if n_landmarks is not None and n_landmarks < 1:
+            raise ValidationError("n_landmarks must be at least 1")
         if n_jobs is not None and (n_jobs == 0 or n_jobs < -1):
             raise ValidationError("n_jobs must be None, -1, or a positive integer")
         self.n_prototypes = int(n_prototypes)
@@ -125,6 +153,9 @@ class IFair:
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.max_pairs = max_pairs
+        self.pair_mode = pair_mode
+        self.n_landmarks = n_landmarks
+        self.landmark_method = landmark_method
         self.n_jobs = n_jobs
         self.random_state = random_state
 
@@ -132,6 +163,7 @@ class IFair:
         self.alpha_: Optional[np.ndarray] = None
         self.loss_: float = np.inf
         self.restarts_: List[RestartRecord] = []
+        self.landmarks_: Optional[np.ndarray] = None
         self._protected: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
@@ -158,8 +190,12 @@ class IFair:
             n_prototypes=self.n_prototypes,
             p=self.p,
             max_pairs=self.max_pairs,
+            pair_mode=self.pair_mode,
+            n_landmarks=self.n_landmarks,
+            landmark_method=self.landmark_method,
             random_state=self.random_state,
         )
+        self.landmarks_ = objective.landmark_indices
         seeds = spawn_seeds(self.random_state, self.n_restarts)
         bounds = self._bounds(objective)
         workers = self._n_workers()

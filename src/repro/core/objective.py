@@ -84,6 +84,31 @@ fallback (and as the reference that the property tests in
 ``tests/property/test_kernel_equivalence.py`` hold the fast path to,
 at ``rtol = 1e-10``).  Construct with ``fast_kernels=False`` to force
 the reference path.
+
+Pair modes (large-M fairness oracle)
+------------------------------------
+``pair_mode`` selects how the fairness term sums record pairs:
+
+* ``"full"`` — every ordered pair.  The fast path evaluates it in
+  moment form (``O(M * N^2)``, no ``(M, M)`` matrix); the reference
+  path precomputes the dense ``D*`` target in ``O(M^2)``.
+* ``"sampled"`` — ``max_pairs`` unordered pairs drawn once at
+  construction (``O(max_pairs * N)`` per call).
+* ``"landmark"`` — the full-pair loss approximated through ``L << M``
+  landmark anchors (:class:`repro.utils.kernels.LandmarkFairness`,
+  seeded by k-means++ or farthest-point traversal under
+  ``random_state``).  Each oracle call costs ``O(M * L * N)`` for any
+  Minkowski ``p`` and never materialises an ``(M, M)`` or
+  ``(M, K, N)`` tensor: the prototype-distance tensors of the
+  generic-``p`` path are evaluated in row blocks
+  (:func:`repro.utils.kernels.minkowski_dists_blocked`).  The loss is
+  scaled by ``M / L`` so it estimates the full ordered-pair sum —
+  ``mu_fair`` keeps one meaning across modes (see
+  :attr:`IFairObjective.effective_pairs`) — and at ``L = M`` it
+  equals the full-pair loss exactly.
+
+``pair_mode="auto"`` (the default) preserves the historical
+behaviour: ``"sampled"`` when ``max_pairs`` is given, else ``"full"``.
 """
 
 from __future__ import annotations
@@ -94,7 +119,10 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.utils import kernels
+from repro.utils.landmarks import LANDMARK_METHODS, select_landmarks
 from repro.utils.mathkit import pairwise_sq_euclidean, softmax
+
+PAIR_MODES = ("auto", "full", "sampled", "landmark")
 from repro.utils.rng import RandomStateLike, check_random_state
 from repro.utils.validation import (
     check_matrix,
@@ -122,13 +150,30 @@ class IFairObjective:
         Optional cap on the number of (unordered) record pairs used by
         the fairness loss.  ``None`` uses the full ordered-pair sum;
         otherwise pairs are sampled once at construction.
+    pair_mode:
+        ``"auto"`` (default: ``"sampled"`` iff ``max_pairs`` is set),
+        ``"full"``, ``"sampled"``, or ``"landmark"`` (see module
+        docstring).
+    n_landmarks:
+        Anchor count L for ``pair_mode="landmark"``; defaults to
+        ``min(M, 128)``.  Capped at M; at ``L = M`` the landmark loss
+        equals the full-pair loss.
+    landmark_method:
+        ``"kmeans++"`` (default) or ``"farthest"`` anchor seeding.
+    landmarks:
+        Explicit anchor row indices (distinct); overrides
+        ``n_landmarks``/``landmark_method``.  Stored sorted, so anchor
+        ordering never affects results.
     random_state:
-        Seeds the pair subsample only.
+        Seeds the pair subsample and the landmark selection only.
     fast_kernels:
         Use the GEMM fast path for ``p == 2`` (see module docstring).
         ``False`` forces the reference einsum implementation; generic
-        ``p`` always uses the reference path.
+        ``p`` always uses the reference path (row-blocked in landmark
+        mode).
     """
+
+    DEFAULT_LANDMARKS = 128
 
     def __init__(
         self,
@@ -140,6 +185,10 @@ class IFairObjective:
         n_prototypes: int = 10,
         p: float = 2.0,
         max_pairs: Optional[int] = None,
+        pair_mode: str = "auto",
+        n_landmarks: Optional[int] = None,
+        landmark_method: str = "kmeans++",
+        landmarks=None,
         random_state: RandomStateLike = 0,
         fast_kernels: bool = True,
     ):
@@ -159,6 +208,29 @@ class IFairObjective:
             )
         if p < 1:
             raise ValidationError("Minkowski exponent p must be >= 1")
+        if pair_mode not in PAIR_MODES:
+            raise ValidationError(
+                f"pair_mode must be one of {PAIR_MODES}, got {pair_mode!r}"
+            )
+        if pair_mode == "auto":
+            pair_mode = "sampled" if max_pairs is not None else "full"
+        if pair_mode == "sampled" and max_pairs is None:
+            raise ValidationError("pair_mode='sampled' requires max_pairs")
+        if pair_mode != "sampled" and max_pairs is not None:
+            raise ValidationError(
+                f"max_pairs only applies to pair_mode='sampled', not {pair_mode!r}"
+            )
+        if landmark_method not in LANDMARK_METHODS:
+            raise ValidationError(
+                f"landmark_method must be one of {LANDMARK_METHODS}, "
+                f"got {landmark_method!r}"
+            )
+        if pair_mode != "landmark" and (n_landmarks is not None or landmarks is not None):
+            raise ValidationError(
+                "n_landmarks/landmarks only apply to pair_mode='landmark'"
+            )
+        self.pair_mode = pair_mode
+        self.landmark_method = landmark_method
         self.lambda_util = float(lambda_util)
         self.mu_fair = float(mu_fair)
         self.n_prototypes = int(n_prototypes)
@@ -177,17 +249,18 @@ class IFairObjective:
         X_star = self.X[:, self.nonprotected]
         self._fair_full: Optional[kernels.FullPairFairness] = None
         self._pair_scatter: Optional[kernels.PairScatter] = None
-        if max_pairs is None:
-            self._pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._fair_landmark: Optional[kernels.LandmarkFairness] = None
+        self._pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._d_star = None
+        if pair_mode == "full":
             if self._use_fast:
                 # Moment form needs only O(M + N^2) precomputed X*
                 # statistics — the dense (M, M) target matrix is a
                 # reference-path-only structure.
                 self._fair_full = kernels.FullPairFairness(X_star)
-                self._d_star = None
             else:
                 self._d_star = pairwise_sq_euclidean(X_star)
-        else:
+        elif pair_mode == "sampled":
             if max_pairs < 1:
                 raise ValidationError("max_pairs must be positive")
             rng = check_random_state(random_state)
@@ -201,6 +274,33 @@ class IFairObjective:
             self._d_star = np.sum(diff * diff, axis=1)
             if self._use_fast:
                 self._pair_scatter = kernels.PairScatter(ii, jj, m)
+        else:  # landmark
+            if landmarks is not None:
+                idx = np.asarray(landmarks, dtype=np.int64).ravel()
+                if idx.size != np.unique(idx).size:
+                    raise ValidationError("landmark indices must be distinct")
+                if idx.size < 1 or idx.min() < 0 or idx.max() >= m:
+                    raise ValidationError("landmark indices out of range")
+            else:
+                n_land = (
+                    min(m, self.DEFAULT_LANDMARKS)
+                    if n_landmarks is None
+                    else int(n_landmarks)
+                )
+                if n_land < 1:
+                    raise ValidationError("n_landmarks must be at least 1")
+                n_land = min(n_land, m)
+                idx = select_landmarks(
+                    X_star,
+                    n_land,
+                    method=landmark_method,
+                    random_state=random_state,
+                )
+            # Scale M/L makes the landmark sum estimate the full
+            # ordered-pair sum, so mu_fair transfers across modes.
+            self._fair_landmark = kernels.LandmarkFairness(
+                X_star, idx, scale=m / idx.size
+            )
 
     # ------------------------------------------------------------------
     # Parameter packing
@@ -214,6 +314,35 @@ class IFairObjective:
     def n_params(self) -> int:
         """Size of the packed parameter vector [V.ravel(), alpha]."""
         return self.n_prototypes * self.n_features + self.n_features
+
+    @property
+    def effective_pairs(self) -> int:
+        """Ordered-pair count the fairness loss represents.
+
+        ``full`` and ``landmark`` both report ``M^2`` — the landmark
+        loss is rescaled by ``M / L`` to estimate the full ordered-pair
+        sum, so a given ``mu_fair`` carries the same weight in either
+        mode.  ``sampled`` reports the raw sampled-pair count (the
+        historical, unscaled semantics).
+        """
+        m = self.X.shape[0]
+        if self.pair_mode == "sampled":
+            return int(self._pairs[0].size)
+        return m * m
+
+    @property
+    def n_landmarks(self) -> Optional[int]:
+        """Anchor count L in landmark mode, else ``None``."""
+        if self._fair_landmark is None:
+            return None
+        return self._fair_landmark.n_landmarks
+
+    @property
+    def landmark_indices(self) -> Optional[np.ndarray]:
+        """Sorted anchor row indices in landmark mode, else ``None``."""
+        if self._fair_landmark is None:
+            return None
+        return self._fair_landmark.anchor_idx
 
     def pack(self, V: np.ndarray, alpha: np.ndarray) -> np.ndarray:
         """Concatenate prototypes and weights into one flat vector."""
@@ -255,6 +384,13 @@ class IFairObjective:
             return kernels.weighted_sq_dists_gemm(
                 self.X, V, alpha, x_sq=self._X_sq, out=self._ws.take("d", (m, k))
             )
+        if self.pair_mode == "landmark":
+            # Landmark mode promises no (M, K, N) tensor for any p:
+            # the per-row arithmetic is identical, just row-blocked.
+            m, k = self.X.shape[0], V.shape[0]
+            return kernels.minkowski_dists_blocked(
+                self.X, V, alpha, self.p, out=self._ws.take("d", (m, k))
+            )
         diff = self.X[:, None, :] - V[None, :, :]
         if self.p == 2.0:
             powed = diff * diff
@@ -285,6 +421,8 @@ class IFairObjective:
         return self.lambda_util * l_util + self.mu_fair * l_fair
 
     def _fair_loss(self, X_tilde: np.ndarray) -> float:
+        if self._fair_landmark is not None:
+            return self._fair_landmark.loss(X_tilde)
         if self._pairs is None:
             if self._fair_full is not None:
                 return self._fair_full.loss(X_tilde)
@@ -309,10 +447,14 @@ class IFairObjective:
 
         Dispatches to the GEMM fast path for ``p == 2`` (see module
         docstring) and to the reference einsum implementation for
-        generic ``p`` or when ``fast_kernels=False``.
+        generic ``p`` or when ``fast_kernels=False``; landmark mode
+        routes the non-GEMM case through the row-blocked kernels so no
+        ``(M, K, N)`` tensor is built at any ``p``.
         """
         if self._use_fast:
             return self._loss_and_grad_fast(theta)
+        if self.pair_mode == "landmark":
+            return self._loss_and_grad_landmark_blocked(theta)
         return self._loss_and_grad_reference(theta)
 
     def _loss_and_grad_fast(self, theta: np.ndarray) -> Tuple[float, np.ndarray]:
@@ -338,7 +480,12 @@ class IFairObjective:
 
         # dL/dX_tilde from both loss terms.
         G = np.multiply(2.0 * self.lambda_util, resid, out=ws.take("g", (m, n)))
-        if self._pairs is None:
+        if self._fair_landmark is not None:
+            # Blocked landmark fairness: O(M * L * N), no (M, M) matrix.
+            l_fair, g_fair = self._fair_landmark.loss_and_grad_x(X_tilde)
+            g_fair *= self.mu_fair
+            G += g_fair
+        elif self._pairs is None:
             # Moment-form fairness: O(M * N^2), no (M, M) matrix.
             l_fair, row, e_xt = self._fair_full.loss_row_grad(X_tilde)
             e_xt -= row[:, None] * X_tilde
@@ -362,6 +509,57 @@ class IFairObjective:
         C *= U
         grad_alpha, grad_V_dist = kernels.sq_dist_backward(
             C, X, V, alpha, x_sq=self._X_sq
+        )
+        grad_V += grad_V_dist
+        return loss, np.concatenate([grad_V.ravel(), grad_alpha])
+
+    def _loss_and_grad_landmark_blocked(
+        self, theta: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Landmark mode off the GEMM path (generic ``p``), row-blocked.
+
+        Same arithmetic as the reference implementation for the
+        prototype part — each row's distances and backward
+        contributions are independent, so blocking only bounds memory —
+        with the fairness term evaluated by the blocked landmark
+        kernel.  Peak transient allocation is O(B * K * N + B * L)
+        regardless of M.
+        """
+        V, alpha = self.unpack(theta)
+        X = self.X
+        m, n = X.shape
+        k = V.shape[0]
+        ws = self._ws
+
+        d = kernels.minkowski_dists_blocked(
+            X, V, alpha, self.p, out=ws.take("d", (m, k))
+        )
+        U = softmax(-d, axis=1)
+        X_tilde = U @ V
+        resid = X_tilde - X
+        l_util = float(np.sum(resid * resid))
+
+        G = 2.0 * self.lambda_util * resid
+        l_fair, g_fair = self._fair_landmark.loss_and_grad_x(X_tilde)
+        g_fair *= self.mu_fair
+        G += g_fair
+
+        # Compensated assembly: in the landmark regime a fit can drive
+        # D_tilde -> D* (the ROADMAP watch-item), leaving l_fair many
+        # orders below l_util — keep every digit the parts have.
+        loss = (
+            kernels.CompensatedSum()
+            .add(self.lambda_util * l_util)
+            .add(self.mu_fair * l_fair)
+            .result
+        )
+
+        # Through X_tilde = U V.
+        grad_V = U.T @ G
+        C = G @ V.T
+        P = U * (C - np.sum(U * C, axis=1, keepdims=True))
+        grad_alpha, grad_V_dist = kernels.minkowski_backward_blocked(
+            P, X, V, alpha, self.p
         )
         grad_V += grad_V_dist
         return loss, np.concatenate([grad_V.ravel(), grad_alpha])

@@ -17,8 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.core.objective import PAIR_MODES
 from repro.core.tuning import MIXTURE_GRID, PROTOTYPE_GRID
 from repro.exceptions import ValidationError
+from repro.utils.landmarks import LANDMARK_METHODS
 
 
 @dataclass(frozen=True)
@@ -37,6 +39,15 @@ class ExperimentConfig:
         L-BFGS iteration budget per restart.
     max_pairs:
         Cap on fairness-loss pairs (None = exact full sum).
+    pair_mode:
+        Fairness-oracle mode for iFair fits: ``"auto"`` (default;
+        sampled iff ``max_pairs`` set), ``"full"``, ``"sampled"``, or
+        ``"landmark"`` (the O(M * L * N) large-M oracle).
+    n_landmarks:
+        Anchor count when ``pair_mode="landmark"`` (None = the model
+        default, min(M, 128)).
+    landmark_method:
+        ``"kmeans++"`` or ``"farthest"`` anchor seeding.
     consistency_k:
         Neighbourhood size of yNN.
     l2:
@@ -54,6 +65,9 @@ class ExperimentConfig:
     n_restarts: int = 1
     max_iter: int = 60
     max_pairs: Optional[int] = 2500
+    pair_mode: str = "auto"
+    n_landmarks: Optional[int] = None
+    landmark_method: str = "kmeans++"
     consistency_k: int = 10
     l2: float = 1.0
     classification_records: int = 450
@@ -69,6 +83,14 @@ class ExperimentConfig:
             raise ValidationError("n_restarts and max_iter must be positive")
         if self.consistency_k < 1:
             raise ValidationError("consistency_k must be positive")
+        if self.pair_mode not in PAIR_MODES:
+            raise ValidationError(f"pair_mode must be one of {PAIR_MODES}")
+        if self.landmark_method not in LANDMARK_METHODS:
+            raise ValidationError(
+                f"landmark_method must be one of {LANDMARK_METHODS}"
+            )
+        if self.n_landmarks is not None and self.n_landmarks < 1:
+            raise ValidationError("n_landmarks must be positive")
 
     @classmethod
     def fast(cls, random_state: int = 7) -> "ExperimentConfig":

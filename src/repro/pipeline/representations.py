@@ -218,6 +218,9 @@ class IFairMethod(RepresentationMethod):
             n_restarts=int(self.params.get("n_restarts", 1)),
             max_iter=int(self.params.get("max_iter", 100)),
             max_pairs=self.params.get("max_pairs"),
+            pair_mode=str(self.params.get("pair_mode", "auto")),
+            n_landmarks=self.params.get("n_landmarks"),
+            landmark_method=str(self.params.get("landmark_method", "kmeans++")),
             random_state=context.random_state,
         )
         self._model.fit(context.X_train, context.protected_indices)
@@ -234,16 +237,25 @@ class IFairMethod(RepresentationMethod):
         ):
             if lam == 0.0 and mu == 0.0:
                 continue
-            grid.append(
-                {
-                    "lambda_util": float(lam),
-                    "mu_fair": float(mu),
-                    "n_prototypes": int(k),
-                    "n_restarts": config.n_restarts,
-                    "max_iter": config.max_iter,
-                    "max_pairs": config.max_pairs,
-                }
-            )
+            point = {
+                "lambda_util": float(lam),
+                "mu_fair": float(mu),
+                "n_prototypes": int(k),
+                "n_restarts": config.n_restarts,
+                "max_iter": config.max_iter,
+                "max_pairs": config.max_pairs,
+            }
+            if config.pair_mode == "landmark":
+                # The landmark oracle replaces pair subsampling.
+                point["max_pairs"] = None
+                point["pair_mode"] = "landmark"
+                point["n_landmarks"] = config.n_landmarks
+                point["landmark_method"] = config.landmark_method
+            elif config.pair_mode != "auto":
+                point["pair_mode"] = config.pair_mode
+                if config.pair_mode == "full":
+                    point["max_pairs"] = None
+            grid.append(point)
         return grid
 
 

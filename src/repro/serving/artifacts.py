@@ -98,7 +98,7 @@ class ServingArtifact:
 
 
 def _model_manifest(model: IFair) -> Dict:
-    return {
+    manifest = {
         "n_prototypes": model.n_prototypes,
         "lambda_util": model.lambda_util,
         "mu_fair": model.mu_fair,
@@ -106,7 +106,14 @@ def _model_manifest(model: IFair) -> Dict:
         "init": model.init,
         "loss": float(model.loss_),
         "shape": list(model.prototypes_.shape),
+        "pair_mode": model.pair_mode,
     }
+    if model.landmarks_ is not None:
+        # Fairness-oracle provenance: anchor count + seeding strategy
+        # (the anchor indices themselves ride in the array payload).
+        manifest["n_landmarks"] = int(model.landmarks_.size)
+        manifest["landmark_method"] = model.landmark_method
+    return manifest
 
 
 def save_artifact(path: str, artifact: ServingArtifact) -> str:
@@ -121,6 +128,8 @@ def save_artifact(path: str, artifact: ServingArtifact) -> str:
         "model.alpha": artifact.model.alpha_,
         "protected_indices": artifact.protected_indices.astype(np.int64),
     }
+    if artifact.model.landmarks_ is not None:
+        arrays["model.landmarks"] = artifact.model.landmarks_.astype(np.int64)
     manifest: Dict = {
         "format": ARTIFACT_FORMAT,
         "version": ARTIFACT_VERSION,
@@ -248,10 +257,22 @@ def _load_model(manifest: Dict, arrays: Dict[str, np.ndarray]) -> IFair:
         mu_fair=float(spec["mu_fair"]),
         p=float(spec["p"]),
         init=str(spec["init"]),
+        # Optional keys: absent in pre-landmark (still version-1)
+        # artifacts, which load exactly as before.
+        pair_mode=str(spec.get("pair_mode", "auto")),
+        n_landmarks=spec.get("n_landmarks"),
+        landmark_method=str(spec.get("landmark_method", "kmeans++")),
     )
     model.prototypes_ = prototypes
     model.alpha_ = alpha
     model.loss_ = float(spec.get("loss", np.inf))
+    if "model.landmarks" in arrays:
+        landmarks = np.asarray(arrays["model.landmarks"], dtype=np.int64)
+        if "n_landmarks" in spec and int(spec["n_landmarks"]) != landmarks.size:
+            raise ArtifactError(
+                "landmark count disagrees between manifest and array payload"
+            )
+        model.landmarks_ = landmarks
     return model
 
 

@@ -32,6 +32,9 @@ def fit_serving_pipeline(
     n_restarts: int = 1,
     max_iter: int = 100,
     max_pairs: Optional[int] = 2000,
+    pair_mode: str = "auto",
+    n_landmarks: Optional[int] = None,
+    landmark_method: str = "kmeans++",
     criterion: str = "parity",
     scorer_l2: float = 1.0,
     random_state: int = 0,
@@ -41,10 +44,14 @@ def fit_serving_pipeline(
     Classification datasets get the full stack; ranking datasets (real-
     valued ``y``) get scaler + iFair + a scorer trained on the median
     split of the scores, but no thresholds (``decide`` is a
-    classification verb).
+    classification verb).  ``pair_mode="landmark"`` switches the
+    fairness oracle to the large-M landmark approximation (and drops
+    the default pair subsample, which only applies to ``sampled``).
     """
     if dataset.n_records < 10:
         raise ValidationError("serving pipeline needs at least 10 records")
+    if pair_mode in ("full", "landmark"):
+        max_pairs = None
     scaler = StandardScaler().fit(dataset.X)
     X = scaler.transform(dataset.X)
     model = IFair(
@@ -55,6 +62,9 @@ def fit_serving_pipeline(
         n_restarts=n_restarts,
         max_iter=max_iter,
         max_pairs=max_pairs,
+        pair_mode=pair_mode,
+        n_landmarks=n_landmarks,
+        landmark_method=landmark_method,
         random_state=random_state,
     ).fit(X, dataset.protected_indices)
     Z = model.transform(X)
@@ -85,5 +95,9 @@ def fit_serving_pipeline(
             "random_state": random_state,
             "criterion": criterion if thresholds is not None else None,
             "ifair_loss": float(model.loss_),
+            "pair_mode": pair_mode,
+            "n_landmarks": (
+                None if model.landmarks_ is None else int(model.landmarks_.size)
+            ),
         },
     )

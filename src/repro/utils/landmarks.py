@@ -1,0 +1,107 @@
+"""Landmark (anchor) selection for the large-M fairness oracle.
+
+The landmark fairness oracle (:class:`repro.utils.kernels.LandmarkFairness`)
+approximates the full ordered-pair loss through ``L`` anchor records.
+Approximation quality hinges on the anchors covering the data's
+geometry, so two classic coverage seedings are provided:
+
+* ``"kmeans++"`` — D^2 sampling (Arthur & Vassilvitskii, 2007): each
+  new anchor is drawn with probability proportional to its squared
+  distance to the closest already-chosen anchor.  Stochastic but
+  deterministic under the seed; spreads anchors density-proportionally.
+* ``"farthest"`` — farthest-point traversal: each new anchor is the
+  record farthest from the chosen set (ties break to the lowest
+  index).  Deterministic after the seeded first pick; maximises
+  coverage radius.
+
+Both run in ``O(M * L * N)`` time and ``O(M)`` extra memory — no
+pairwise matrix — and return **sorted, distinct** indices, so any two
+selections of the same anchor set are interchangeable bitwise.  When
+``n_landmarks == M`` every record is selected, which is what makes the
+landmark oracle collapse exactly onto the full-pair loss at ``L = M``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import RandomStateLike, check_random_state
+
+LANDMARK_METHODS = ("kmeans++", "farthest")
+
+
+def _sq_dists_to(X: np.ndarray, row: np.ndarray) -> np.ndarray:
+    """``||X[i] - row||^2`` for every record, clipped at zero."""
+    diff = X - row[None, :]
+    return np.einsum("mn,mn->m", diff, diff)
+
+
+def select_landmarks(
+    X: np.ndarray,
+    n_landmarks: int,
+    *,
+    method: str = "kmeans++",
+    random_state: RandomStateLike = 0,
+) -> np.ndarray:
+    """Choose ``n_landmarks`` distinct anchor row indices of ``X``.
+
+    Parameters
+    ----------
+    X:
+        Record matrix, shape (M, N) — typically the non-protected
+        attribute columns the fairness target is built from.
+    n_landmarks:
+        Number of anchors L, ``1 <= L <= M``.
+    method:
+        ``"kmeans++"`` or ``"farthest"`` (see module docstring).
+    random_state:
+        Seeds the first pick and, for k-means++, the D^2 sampling.
+
+    Returns
+    -------
+    Sorted ``int64`` array of L distinct row indices.  Duplicate
+    records collapse the distance landscape to zero; remaining picks
+    then fall back to the lowest unchosen indices so the result stays
+    distinct and deterministic.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[0] < 1:
+        raise ValidationError("landmark selection needs a non-empty 2-D matrix")
+    m = X.shape[0]
+    n_landmarks = int(n_landmarks)
+    if n_landmarks < 1:
+        raise ValidationError("n_landmarks must be at least 1")
+    if n_landmarks > m:
+        raise ValidationError(
+            f"n_landmarks must be <= number of records ({m}), got {n_landmarks}"
+        )
+    if method not in LANDMARK_METHODS:
+        raise ValidationError(
+            f"landmark method must be one of {LANDMARK_METHODS}, got {method!r}"
+        )
+    rng = check_random_state(random_state)
+
+    chosen = np.empty(n_landmarks, dtype=np.int64)
+    taken = np.zeros(m, dtype=bool)
+    first = int(rng.integers(m))
+    chosen[0] = first
+    taken[first] = True
+    # Squared distance of every record to its nearest chosen anchor.
+    d2 = _sq_dists_to(X, X[first])
+    for t in range(1, n_landmarks):
+        total = float(d2.sum())
+        if total > 0.0:
+            if method == "kmeans++":
+                nxt = int(rng.choice(m, p=d2 / total))
+            else:
+                nxt = int(np.argmax(d2))
+        else:
+            # All remaining records coincide with an anchor: keep the
+            # selection distinct via the lowest unchosen index.
+            nxt = int(np.flatnonzero(~taken)[0])
+        chosen[t] = nxt
+        taken[nxt] = True
+        np.minimum(d2, _sq_dists_to(X, X[nxt]), out=d2)
+        d2[nxt] = 0.0
+    return np.sort(chosen)

@@ -3,22 +3,102 @@
 Everything is deliberately tiny: the goal is correctness of code paths
 and invariants, not statistical power.  Benchmark-scale runs live in
 ``benchmarks/``.
+
+Besides the dataset fixtures, this module provides the seeded
+*factory* fixtures (``make_data``, ``make_objective``, ``make_theta``,
+``make_kernel_case``) that replace per-file copy-pasted array setup,
+and registers the Hypothesis profiles: ``default`` for interactive and
+CI runs, ``nightly`` (selected via ``HYPOTHESIS_PROFILE=nightly``) for
+the scheduled high-budget property sweep.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.data.compas import generate_compas
 from repro.data.credit import generate_credit
 from repro.data.xing import generate_xing
 from repro.pipeline.config import ExperimentConfig
 
+settings.register_profile("default", max_examples=40, deadline=None)
+settings.register_profile("nightly", max_examples=400, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
 
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def make_data():
+    """Factory for seeded record matrices.
+
+    ``protected_col`` (when given) is overwritten with a seeded binary
+    column, the layout most model tests want.
+    """
+
+    def _make(m=20, n=6, *, protected_col=None, seed=12345):
+        data_rng = np.random.default_rng(seed)
+        X = data_rng.normal(size=(m, n))
+        if protected_col is not None:
+            X[:, protected_col] = (data_rng.random(m) > 0.5).astype(float)
+        return X
+
+    return _make
+
+
+@pytest.fixture
+def make_objective(make_data):
+    """Factory for seeded :class:`IFairObjective` instances.
+
+    Pass ``X`` to reuse a matrix, or let the factory draw one from
+    ``seed``.  ``protected=None`` builds an unprotected objective.
+    """
+
+    def _make(m=12, n=5, k=3, *, protected=(4,), seed=12345, X=None, **kwargs):
+        from repro.core.objective import IFairObjective
+
+        if X is None:
+            X = make_data(m, n, seed=seed)
+        return IFairObjective(
+            X,
+            None if protected is None else list(protected),
+            n_prototypes=k,
+            **kwargs,
+        )
+
+    return _make
+
+
+@pytest.fixture
+def make_theta():
+    """Factory for seeded packed parameter vectors of an objective."""
+
+    def _make(objective, *, seed=777, low=0.1, high=0.9):
+        theta_rng = np.random.default_rng(seed)
+        return theta_rng.uniform(low, high, size=objective.n_params)
+
+    return _make
+
+
+@pytest.fixture
+def make_kernel_case():
+    """Factory for seeded (X, V, alpha) kernel-layer triples."""
+
+    def _make(m=25, k=4, n=6, *, seed=12345):
+        case_rng = np.random.default_rng(seed)
+        X = case_rng.normal(size=(m, n))
+        V = case_rng.normal(size=(k, n))
+        alpha = case_rng.uniform(0.1, 1.0, size=n)
+        return X, V, alpha
+
+    return _make
 
 
 @pytest.fixture

@@ -1,16 +1,21 @@
 """Property tests: the GEMM fast path is exact-equivalent to the reference.
 
-The iFair oracle has two implementations — the GEMM fast kernels used
+The iFair oracle has two kernel flavours — the GEMM fast kernels used
 by default for ``p == 2`` and the original einsum/tensor reference
-(``fast_kernels=False``, also the generic-``p`` path).  These tests
-pin them together at ``rtol = 1e-10`` for the loss and the full
-gradient, across Minkowski exponents, pair subsampling, and protected
-sets, so any algebra drift in the kernels is caught immediately.
+(``fast_kernels=False``, also the generic-``p`` path; row-blocked in
+landmark mode).  These tests pin them together at ``rtol = 1e-10``
+for the loss and the full gradient, across Minkowski exponents, all
+three pair modes (full / sampled / landmark), and protected sets, so
+any algebra drift in the kernels is caught immediately.
+
+Example budgets come from the Hypothesis profile registered in
+``tests/conftest.py`` (``default``; ``HYPOTHESIS_PROFILE=nightly``
+runs the scheduled high-budget sweep).
 """
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.objective import IFairObjective
 
@@ -18,15 +23,25 @@ RTOL = 1e-10
 ATOL = 1e-10
 
 
-def _pair(X, protected, *, p, max_pairs, lam=1.0, mu=1.0, k=3, seed=0):
+def _pair_kwargs(pair_config, m):
+    """Translate a drawn pair configuration into objective kwargs."""
+    kind, value = pair_config
+    if kind == "full":
+        return {}
+    if kind == "sampled":
+        return {"max_pairs": value}
+    return {"pair_mode": "landmark", "n_landmarks": min(value, m)}
+
+
+def _pair(X, protected, *, p, pair_config, lam=1.0, mu=1.0, k=3, seed=0):
     """The same objective built with fast kernels and with the reference."""
     kwargs = dict(
         lambda_util=lam,
         mu_fair=mu,
         n_prototypes=k,
         p=p,
-        max_pairs=max_pairs,
         random_state=seed,
+        **_pair_kwargs(pair_config, X.shape[0]),
     )
     fast = IFairObjective(X, protected, **kwargs)
     ref = IFairObjective(X, protected, fast_kernels=False, **kwargs)
@@ -40,23 +55,33 @@ def equivalence_cases(draw):
     n = draw(st.integers(2, 7))
     k = draw(st.integers(1, min(4, m - 1)))
     p = draw(st.sampled_from([2.0, 1.0, 3.0]))
-    max_pairs = draw(st.sampled_from([None, 5, 25]))
+    pair_config = draw(
+        st.sampled_from(
+            [
+                ("full", None),
+                ("sampled", 5),
+                ("sampled", 25),
+                ("landmark", 3),
+                ("landmark", 6),
+                ("landmark", 10_000),  # capped at m: the L = M case
+            ]
+        )
+    )
     lam = draw(st.sampled_from([0.0, 0.5, 1.0, 10.0]))
     mu = draw(st.sampled_from([0.0, 0.5, 1.0, 10.0]))
     n_protected = draw(st.integers(0, max(0, n - 1)))
-    return seed, m, n, k, p, max_pairs, lam, mu, n_protected
+    return seed, m, n, k, p, pair_config, lam, mu, n_protected
 
 
 class TestFastMatchesReference:
-    @settings(max_examples=40, deadline=None)
     @given(equivalence_cases())
     def test_loss_and_grad_equivalent(self, case):
-        seed, m, n, k, p, max_pairs, lam, mu, n_protected = case
+        seed, m, n, k, p, pair_config, lam, mu, n_protected = case
         rng = np.random.default_rng(seed)
         X = rng.normal(size=(m, n))
         protected = list(range(n - n_protected, n))
         fast, ref = _pair(
-            X, protected, p=p, max_pairs=max_pairs, lam=lam, mu=mu, k=k, seed=seed
+            X, protected, p=p, pair_config=pair_config, lam=lam, mu=mu, k=k, seed=seed
         )
         theta = rng.uniform(0.1, 0.9, size=fast.n_params)
 
@@ -65,15 +90,14 @@ class TestFastMatchesReference:
         assert loss_fast == pytest.approx(loss_ref, rel=RTOL, abs=ATOL)
         np.testing.assert_allclose(grad_fast, grad_ref, rtol=RTOL, atol=ATOL)
 
-    @settings(max_examples=20, deadline=None)
     @given(equivalence_cases())
     def test_forward_only_equivalent(self, case):
-        seed, m, n, k, p, max_pairs, lam, mu, n_protected = case
+        seed, m, n, k, p, pair_config, lam, mu, n_protected = case
         rng = np.random.default_rng(seed)
         X = rng.normal(size=(m, n))
         protected = list(range(n - n_protected, n))
         fast, ref = _pair(
-            X, protected, p=p, max_pairs=max_pairs, lam=lam, mu=mu, k=k, seed=seed
+            X, protected, p=p, pair_config=pair_config, lam=lam, mu=mu, k=k, seed=seed
         )
         theta = rng.uniform(0.1, 0.9, size=fast.n_params)
 
@@ -90,32 +114,45 @@ class TestFastMatchesReference:
             fast.transform(V, alpha), ref.transform(V, alpha), rtol=RTOL, atol=ATOL
         )
 
-    def test_empty_and_full_protected_sets(self):
-        """Edge protected sets, both pair modes, loss + grad at 1e-10."""
-        rng = np.random.default_rng(7)
-        X = rng.normal(size=(14, 5))
+    def test_empty_and_full_protected_sets(self, make_data, make_theta):
+        """Edge protected sets, all pair modes, loss + grad at 1e-10."""
+        X = make_data(14, 5, seed=7)
         for protected in (None, [], [4], [2, 3, 4]):
-            for max_pairs in (None, 8):
-                fast, ref = _pair(X, protected, p=2.0, max_pairs=max_pairs, seed=11)
-                theta = rng.uniform(0.1, 0.9, size=fast.n_params)
+            for pair_config in (("full", None), ("sampled", 8), ("landmark", 5)):
+                fast, ref = _pair(
+                    X, protected, p=2.0, pair_config=pair_config, seed=11
+                )
+                theta = make_theta(fast, seed=13)
                 loss_fast, grad_fast = fast.loss_and_grad(theta)
                 loss_ref, grad_ref = ref.loss_and_grad(theta)
                 assert loss_fast == pytest.approx(loss_ref, rel=RTOL, abs=ATOL)
                 np.testing.assert_allclose(grad_fast, grad_ref, rtol=RTOL, atol=ATOL)
 
-    def test_fast_path_is_actually_selected(self):
-        rng = np.random.default_rng(0)
-        X = rng.normal(size=(10, 4))
+    def test_fast_path_is_actually_selected(self, make_data):
+        X = make_data(10, 4, seed=0)
         assert IFairObjective(X, [3], n_prototypes=2)._use_fast
         assert not IFairObjective(X, [3], n_prototypes=2, p=3.0)._use_fast
         assert not IFairObjective(X, [3], n_prototypes=2, fast_kernels=False)._use_fast
 
-    def test_workspace_reuse_is_stateless(self):
+    def test_workspace_reuse_is_stateless(self, make_data):
         """Calling the fast oracle repeatedly (as L-BFGS does) must not
         let reused buffers leak state between evaluations."""
         rng = np.random.default_rng(3)
-        X = rng.normal(size=(12, 4))
-        fast, ref = _pair(X, [3], p=2.0, max_pairs=None)
+        X = make_data(12, 4, seed=3)
+        fast, ref = _pair(X, [3], p=2.0, pair_config=("full", None))
+        thetas = [rng.uniform(0.1, 0.9, size=fast.n_params) for _ in range(4)]
+        for theta in thetas + thetas[::-1]:
+            loss_fast, grad_fast = fast.loss_and_grad(theta)
+            loss_ref, grad_ref = ref.loss_and_grad(theta)
+            assert loss_fast == pytest.approx(loss_ref, rel=RTOL, abs=ATOL)
+            np.testing.assert_allclose(grad_fast, grad_ref, rtol=RTOL, atol=ATOL)
+
+    def test_landmark_workspace_reuse_is_stateless(self, make_data):
+        """Same guard for the landmark kernels (blocked buffers +
+        anchor gather are all workspace-backed)."""
+        rng = np.random.default_rng(5)
+        X = make_data(12, 4, seed=5)
+        fast, ref = _pair(X, [3], p=2.0, pair_config=("landmark", 5))
         thetas = [rng.uniform(0.1, 0.9, size=fast.n_params) for _ in range(4)]
         for theta in thetas + thetas[::-1]:
             loss_fast, grad_fast = fast.loss_and_grad(theta)

@@ -8,10 +8,8 @@ from repro.exceptions import NotFittedError, ValidationError
 
 
 @pytest.fixture
-def data(rng):
-    X = rng.normal(size=(40, 5))
-    X[:, 4] = (rng.random(40) > 0.5).astype(float)  # protected column
-    return X
+def data(make_data):
+    return make_data(40, 5, protected_col=4)
 
 
 def _fit(X, **kwargs):
@@ -56,8 +54,8 @@ class TestFit:
         # pressure; it should stay well below the others on average.
         assert model.alpha_[4] < nonprot_mean
 
-    def test_fit_without_protected(self, rng):
-        X = rng.normal(size=(30, 4))
+    def test_fit_without_protected(self, make_data):
+        X = make_data(30, 4)
         model = IFair(
             n_prototypes=2, n_restarts=1, max_iter=20, random_state=0
         ).fit(X)
@@ -80,6 +78,67 @@ class TestFit:
             IFair(n_jobs=0)
         with pytest.raises(ValidationError):
             IFair(n_jobs=-2)
+
+    def test_invalid_pair_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            IFair(pair_mode="bogus")
+        with pytest.raises(ValidationError):
+            IFair(landmark_method="bogus")
+        with pytest.raises(ValidationError):
+            IFair(n_landmarks=0)
+
+
+class TestLandmarkFit:
+    def _fit_landmark(self, X, **kwargs):
+        defaults = dict(
+            n_prototypes=3,
+            n_restarts=1,
+            max_iter=40,
+            random_state=0,
+            pair_mode="landmark",
+            n_landmarks=10,
+        )
+        defaults.update(kwargs)
+        return IFair(**defaults).fit(X, [4])
+
+    def test_landmark_fit_trains_and_records_anchors(self, data):
+        model = self._fit_landmark(data)
+        assert np.isfinite(model.loss_)
+        assert model.landmarks_ is not None
+        assert model.landmarks_.size == 10
+        assert np.array_equal(model.landmarks_, np.sort(model.landmarks_))
+        assert model.transform(data).shape == data.shape
+
+    def test_landmark_fit_deterministic(self, data):
+        a = self._fit_landmark(data, random_state=5)
+        b = self._fit_landmark(data, random_state=5)
+        np.testing.assert_array_equal(a.landmarks_, b.landmarks_)
+        np.testing.assert_array_equal(a.prototypes_, b.prototypes_)
+        np.testing.assert_array_equal(a.alpha_, b.alpha_)
+
+    def test_landmark_parallel_restarts_equal_sequential(self, data):
+        sequential = self._fit_landmark(data, n_restarts=3)
+        parallel = self._fit_landmark(data, n_restarts=3, n_jobs=3)
+        np.testing.assert_array_equal(sequential.prototypes_, parallel.prototypes_)
+        assert sequential.loss_ == parallel.loss_
+
+    @pytest.mark.parametrize("p", [1.0, 3.0])
+    def test_landmark_fit_generic_p(self, data, p):
+        model = self._fit_landmark(data, p=p, max_iter=25)
+        assert np.isfinite(model.loss_)
+        assert model.memberships(data).shape == (40, 3)
+
+    def test_landmark_farthest_method(self, data):
+        model = self._fit_landmark(data, landmark_method="farthest")
+        assert model.landmarks_.size == 10
+
+    def test_non_landmark_fit_has_no_anchors(self, data):
+        model = _fit(data)
+        assert model.landmarks_ is None
+
+    def test_landmark_count_capped_at_m(self, data):
+        model = self._fit_landmark(data, n_landmarks=500, max_iter=10)
+        assert model.landmarks_.size == 40
 
 
 class TestParallelRestarts:
@@ -167,11 +226,10 @@ class TestTransform:
 
 
 class TestBehaviour:
-    def test_protected_flip_barely_moves_representation(self, rng):
+    def test_protected_flip_barely_moves_representation(self, make_data):
         """The paper's core property: flipping the protected attribute of
         a record (iFair-b) leaves its representation nearly unchanged."""
-        X = rng.normal(size=(50, 4))
-        X[:, 3] = (rng.random(50) > 0.5).astype(float)
+        X = make_data(50, 4, protected_col=3)
         model = IFair(
             n_prototypes=3,
             mu_fair=1.0,
@@ -189,8 +247,8 @@ class TestBehaviour:
         drift = float(np.mean((Z - Z_flip) ** 2))
         assert drift / base_scale < 0.05
 
-    def test_higher_lambda_improves_reconstruction(self, rng):
-        X = rng.normal(size=(40, 4))
+    def test_higher_lambda_improves_reconstruction(self, make_data):
+        X = make_data(40, 4)
         lo = IFair(
             n_prototypes=3, lambda_util=0.01, mu_fair=1.0,
             n_restarts=1, max_iter=60, random_state=0, max_pairs=300,

@@ -1,0 +1,78 @@
+"""Tests for repro.utils.landmarks (anchor selection)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.landmarks import LANDMARK_METHODS, select_landmarks
+
+
+class TestSelectLandmarks:
+    @pytest.mark.parametrize("method", LANDMARK_METHODS)
+    def test_sorted_distinct_in_range(self, make_data, method):
+        X = make_data(30, 4)
+        idx = select_landmarks(X, 8, method=method, random_state=0)
+        assert idx.dtype == np.int64
+        assert idx.shape == (8,)
+        assert np.array_equal(idx, np.sort(idx))
+        assert np.unique(idx).size == 8
+        assert idx.min() >= 0 and idx.max() < 30
+
+    @pytest.mark.parametrize("method", LANDMARK_METHODS)
+    def test_deterministic_under_seed(self, make_data, method):
+        X = make_data(25, 3)
+        a = select_landmarks(X, 6, method=method, random_state=42)
+        b = select_landmarks(X, 6, method=method, random_state=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_usually_differ(self, make_data):
+        X = make_data(40, 3)
+        a = select_landmarks(X, 5, random_state=1)
+        b = select_landmarks(X, 5, random_state=2)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("method", LANDMARK_METHODS)
+    def test_full_rank_selects_every_record(self, make_data, method):
+        X = make_data(12, 3)
+        idx = select_landmarks(X, 12, method=method, random_state=7)
+        np.testing.assert_array_equal(idx, np.arange(12))
+
+    @pytest.mark.parametrize("method", LANDMARK_METHODS)
+    def test_duplicate_records_stay_distinct(self, method):
+        # 4 distinct points, each duplicated 3 times: selection beyond
+        # 4 must fall back without repeating an index.
+        base = np.arange(4, dtype=np.float64)[:, None] * np.ones((1, 3))
+        X = np.repeat(base, 3, axis=0)
+        idx = select_landmarks(X, 9, method=method, random_state=0)
+        assert np.unique(idx).size == 9
+
+    def test_farthest_spreads_over_clusters(self):
+        # Three tight, well-separated clusters: 3 anchors must land in
+        # 3 different clusters.
+        rng = np.random.default_rng(0)
+        centers = np.array([[0.0, 0.0], [100.0, 0.0], [0.0, 100.0]])
+        X = np.vstack([c + 0.01 * rng.normal(size=(10, 2)) for c in centers])
+        idx = select_landmarks(X, 3, method="farthest", random_state=5)
+        clusters = {int(i) // 10 for i in idx}
+        assert len(clusters) == 3
+
+    def test_kmeanspp_prefers_spread(self):
+        rng = np.random.default_rng(1)
+        centers = np.array([[0.0, 0.0], [100.0, 0.0], [0.0, 100.0]])
+        X = np.vstack([c + 0.01 * rng.normal(size=(10, 2)) for c in centers])
+        idx = select_landmarks(X, 3, method="kmeans++", random_state=5)
+        clusters = {int(i) // 10 for i in idx}
+        assert len(clusters) == 3
+
+    def test_validation(self, make_data):
+        X = make_data(10, 3)
+        with pytest.raises(ValidationError):
+            select_landmarks(X, 0)
+        with pytest.raises(ValidationError):
+            select_landmarks(X, 11)
+        with pytest.raises(ValidationError):
+            select_landmarks(X, 3, method="bogus")
+        with pytest.raises(ValidationError):
+            select_landmarks(np.zeros((0, 3)), 1)
+        with pytest.raises(ValidationError):
+            select_landmarks(np.zeros(5), 1)

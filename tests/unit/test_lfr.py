@@ -124,3 +124,84 @@ class TestLFREstimator:
     def test_bad_restarts_rejected(self):
         with pytest.raises(ValidationError):
             LFR(n_restarts=0)
+
+
+class TestLandmarkFairnessExtension:
+    """The optional individual-fairness regulariser (mu_fair > 0)."""
+
+    def test_default_objective_is_unchanged(self, lfr_data, rng):
+        X, y, s = lfr_data
+        classic = LFRObjective(X, y, s, n_prototypes=3)
+        extended = LFRObjective(X, y, s, n_prototypes=3, mu_fair=0.0)
+        theta = rng.uniform(0.2, 0.8, size=classic.n_params)
+        assert classic.loss(theta) == extended.loss(theta)
+        la, ga = classic.loss_and_grad(theta)
+        lb, gb = extended.loss_and_grad(theta)
+        assert la == lb
+        assert np.array_equal(ga, gb)
+
+    def test_fair_term_enters_loss(self, lfr_data, rng):
+        X, y, s = lfr_data
+        classic = LFRObjective(X, y, s, n_prototypes=3)
+        fair = LFRObjective(
+            X, y, s, n_prototypes=3, mu_fair=0.5, n_landmarks=8, random_state=0
+        )
+        theta = rng.uniform(0.2, 0.8, size=classic.n_params)
+        assert fair.loss(theta) > classic.loss(theta)
+        loss_direct, _ = fair.loss_and_grad(theta)
+        assert loss_direct == pytest.approx(fair.loss(theta), rel=1e-12)
+
+    def test_fair_gradient_matches_finite_differences(self, lfr_data, rng):
+        X, y, s = lfr_data
+        obj = LFRObjective(
+            X, y, s, n_prototypes=3, mu_fair=0.3, n_landmarks=6, random_state=1
+        )
+        theta = rng.uniform(0.3, 0.7, size=obj.n_params)
+        _, grad = obj.loss_and_grad(theta)
+        eps = 1e-6
+        scale = max(1.0, float(np.max(np.abs(grad))))
+        for i in range(0, obj.n_params, max(1, obj.n_params // 10)):
+            up, down = theta.copy(), theta.copy()
+            up[i] += eps
+            down[i] -= eps
+            numeric = (obj.loss(up) - obj.loss(down)) / (2 * eps)
+            assert abs(numeric - grad[i]) / scale < 1e-5
+
+    def test_negative_mu_rejected(self, lfr_data):
+        X, y, s = lfr_data
+        with pytest.raises(ValidationError):
+            LFRObjective(X, y, s, n_prototypes=3, mu_fair=-1.0)
+
+    def test_estimator_threads_landmark_params(self, lfr_data):
+        X, y, s = lfr_data
+        model = LFR(
+            n_prototypes=3,
+            mu_fair=0.2,
+            n_landmarks=8,
+            n_restarts=1,
+            max_iter=20,
+            random_state=0,
+        ).fit(X, y, s)
+        assert np.isfinite(model.loss_)
+        assert model.transform(X).shape == X.shape
+
+    def test_regulariser_improves_distance_preservation(self, lfr_data):
+        """Higher mu_fair must not worsen the landmark fairness term."""
+        from repro.utils.kernels import LandmarkFairness
+        from repro.utils.landmarks import select_landmarks
+
+        X, y, s = lfr_data
+        idx = select_landmarks(X, 10, random_state=0)
+        term = LandmarkFairness(X, idx)
+        base = LFR(n_prototypes=3, n_restarts=1, max_iter=60, random_state=0)
+        fair = LFR(
+            n_prototypes=3,
+            mu_fair=5.0,
+            n_landmarks=10,
+            n_restarts=1,
+            max_iter=60,
+            random_state=0,
+        )
+        base_loss = term.loss(base.fit(X, y, s).transform(X))
+        fair_loss = term.loss(fair.fit(X, y, s).transform(X))
+        assert fair_loss <= base_loss * 1.05

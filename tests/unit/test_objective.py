@@ -9,9 +9,8 @@ from repro.utils.mathkit import pairwise_sq_euclidean
 
 
 @pytest.fixture
-def objective(rng):
-    X = rng.normal(size=(12, 5))
-    return IFairObjective(X, [4], lambda_util=1.0, mu_fair=1.0, n_prototypes=3)
+def objective(make_objective):
+    return make_objective(m=12, n=5, k=3, lambda_util=1.0, mu_fair=1.0)
 
 
 class TestConstruction:
@@ -104,21 +103,95 @@ class TestForward:
         err = d_tilde - obj._d_star
         assert float(np.sum(err * err)) == pytest.approx(0.0)
 
-    def test_sampled_pairs_subset_of_full(self, rng):
-        X = rng.normal(size=(10, 4))
+    def test_sampled_pairs_subset_of_full(self, make_data, make_theta):
+        X = make_data(10, 4)
         full = IFairObjective(X, None, n_prototypes=2)
         sampled = IFairObjective(X, None, n_prototypes=2, max_pairs=10, random_state=0)
-        theta = rng.uniform(0.1, 1.0, size=full.n_params)
+        theta = make_theta(full, low=0.1, high=1.0)
         # Sampled fair loss (unordered pairs) is at most half the full
         # (ordered) fair loss.
         _, fair_full = full.loss_components(theta)
         _, fair_sampled = sampled.loss_components(theta)
         assert fair_sampled <= fair_full / 2.0 + 1e-9
 
-    def test_max_pairs_larger_than_total_is_capped(self, rng):
-        X = rng.normal(size=(6, 3))
+    def test_max_pairs_larger_than_total_is_capped(self, make_data):
+        X = make_data(6, 3)
         obj = IFairObjective(X, None, n_prototypes=2, max_pairs=10_000)
         assert obj._pairs[0].size == 6 * 5 // 2
+
+
+class TestPairModes:
+    def test_auto_resolves_from_max_pairs(self, make_objective):
+        assert make_objective().pair_mode == "full"
+        assert make_objective(max_pairs=10).pair_mode == "sampled"
+
+    def test_invalid_mode_rejected(self, make_objective):
+        with pytest.raises(ValidationError, match="pair_mode"):
+            make_objective(pair_mode="bogus")
+
+    def test_sampled_requires_max_pairs(self, make_objective):
+        with pytest.raises(ValidationError, match="max_pairs"):
+            make_objective(pair_mode="sampled")
+
+    def test_max_pairs_rejected_outside_sampled(self, make_objective):
+        with pytest.raises(ValidationError, match="max_pairs"):
+            make_objective(pair_mode="full", max_pairs=10)
+        with pytest.raises(ValidationError, match="max_pairs"):
+            make_objective(pair_mode="landmark", max_pairs=10, n_landmarks=4)
+
+    def test_landmark_params_rejected_outside_landmark(self, make_objective):
+        with pytest.raises(ValidationError, match="landmark"):
+            make_objective(n_landmarks=4)
+        with pytest.raises(ValidationError, match="landmark"):
+            make_objective(landmarks=[0, 1])
+
+    def test_invalid_landmark_method_rejected(self, make_objective):
+        with pytest.raises(ValidationError, match="landmark_method"):
+            make_objective(pair_mode="landmark", landmark_method="bogus")
+
+    def test_explicit_landmarks_validated(self, make_objective):
+        with pytest.raises(ValidationError, match="distinct"):
+            make_objective(pair_mode="landmark", landmarks=[1, 1, 2])
+        with pytest.raises(ValidationError, match="range"):
+            make_objective(m=12, pair_mode="landmark", landmarks=[0, 12])
+
+    def test_n_landmarks_capped_at_m(self, make_objective):
+        obj = make_objective(m=12, pair_mode="landmark", n_landmarks=999)
+        assert obj.n_landmarks == 12
+        np.testing.assert_array_equal(obj.landmark_indices, np.arange(12))
+
+    def test_default_landmark_count(self, make_objective):
+        assert make_objective(m=12, pair_mode="landmark").n_landmarks == 12
+        big = make_objective(m=200, n=3, protected=None, pair_mode="landmark")
+        assert big.n_landmarks == IFairObjective.DEFAULT_LANDMARKS
+
+    def test_effective_pairs_per_mode(self, make_objective):
+        assert make_objective(m=12).effective_pairs == 144
+        assert make_objective(m=12, max_pairs=10).effective_pairs == 10
+        # Landmark mode is rescaled to estimate the full ordered sum.
+        lm = make_objective(m=12, pair_mode="landmark", n_landmarks=4)
+        assert lm.effective_pairs == 144
+
+    def test_non_landmark_modes_expose_no_landmarks(self, make_objective):
+        obj = make_objective()
+        assert obj.n_landmarks is None
+        assert obj.landmark_indices is None
+
+    def test_landmark_fair_loss_scaled_to_full(self, make_objective, make_theta):
+        """With anchors = every record the scaled landmark fairness
+        loss equals the full ordered-pair loss."""
+        full = make_objective(m=12)
+        lm = make_objective(m=12, pair_mode="landmark", n_landmarks=12)
+        theta = make_theta(full)
+        _, fair_full = full.loss_components(theta)
+        _, fair_lm = lm.loss_components(theta)
+        assert fair_lm == pytest.approx(fair_full, rel=1e-12)
+
+    def test_landmark_never_builds_m_squared_state(self, make_objective):
+        obj = make_objective(m=30, pair_mode="landmark", n_landmarks=6)
+        assert obj._d_star is None
+        assert obj._fair_full is None
+        assert obj._fair_landmark._d_star.shape == (30, 6)
 
 
 class TestTriuUnravel:

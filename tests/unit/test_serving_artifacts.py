@@ -125,3 +125,75 @@ class TestValidation:
             json.dump(manifest, fh)
         with pytest.raises(ArtifactError, match="shape"):
             load_artifact(saved)
+
+
+class TestLandmarkMetadata:
+    """pair_mode provenance round-trips bitwise through the artifact."""
+
+    @pytest.fixture(scope="class")
+    def landmark_saved(self, tiny_compas, tmp_path_factory):
+        artifact = fit_serving_pipeline(
+            tiny_compas,
+            n_prototypes=4,
+            max_iter=20,
+            pair_mode="landmark",
+            n_landmarks=16,
+            landmark_method="farthest",
+            random_state=0,
+        )
+        path = str(tmp_path_factory.mktemp("landmark-artifact"))
+        save_artifact(path, artifact)
+        return artifact, load_artifact(path), path
+
+    def test_landmarks_round_trip_bitwise(self, landmark_saved):
+        artifact, loaded, _ = landmark_saved
+        assert artifact.model.landmarks_.size == 16
+        np.testing.assert_array_equal(
+            loaded.model.landmarks_, artifact.model.landmarks_
+        )
+        assert loaded.model.landmarks_.dtype == np.int64
+
+    def test_manifest_records_oracle_config(self, landmark_saved):
+        import json
+        import os
+
+        _, loaded, path = landmark_saved
+        assert loaded.model.pair_mode == "landmark"
+        assert loaded.model.n_landmarks == 16
+        assert loaded.model.landmark_method == "farthest"
+        assert loaded.metadata["pair_mode"] == "landmark"
+        with open(os.path.join(path, "manifest.json")) as fh:
+            manifest = json.load(fh)
+        assert manifest["model"]["pair_mode"] == "landmark"
+        assert manifest["model"]["n_landmarks"] == 16
+        assert manifest["model"]["landmark_method"] == "farthest"
+
+    def test_transform_bitwise_equal_after_reload(self, landmark_saved, tiny_compas):
+        artifact, loaded, _ = landmark_saved
+        X = artifact.scaler.transform(tiny_compas.X[:32])
+        assert np.array_equal(
+            loaded.model.transform(X), artifact.model.transform(X)
+        )
+
+    def test_landmark_count_mismatch_rejected(self, landmark_saved, tmp_path):
+        import json
+        import os
+        import shutil
+
+        _, _, path = landmark_saved
+        broken = str(tmp_path / "broken")
+        shutil.copytree(path, broken)
+        manifest_path = os.path.join(broken, "manifest.json")
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        manifest["model"]["n_landmarks"] = 3
+        # Keep the checksum valid: only the manifest text changes.
+        with open(manifest_path, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(ArtifactError, match="landmark count"):
+            load_artifact(broken)
+
+    def test_non_landmark_artifacts_stay_clean(self, saved):
+        loaded = load_artifact(saved)
+        assert loaded.model.landmarks_ is None
+        assert loaded.model.pair_mode in ("auto", "sampled")
