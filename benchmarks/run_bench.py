@@ -3,39 +3,66 @@
 Times the operations every experiment and serving request funnels
 through — ``IFairObjective.loss_and_grad`` (GEMM fast path *and* the
 einsum reference, so each run self-contains its own before/after),
-``IFair.fit``, ``IFair.transform`` and single-record serving latency —
-and appends one labelled entry to a JSON trajectory file
-(``BENCH_core.json`` by default).
+``IFair.fit``, ``IFair.transform``, single-record serving latency, and
+the end-to-end hyper-parameter tuning loop (serial exhaustive vs
+process-parallel vs successive halving) — and appends one labelled
+entry to a JSON trajectory file (``BENCH_core.json`` by default).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py --quick
     PYTHONPATH=src python benchmarks/run_bench.py --label post-gemm \
-        --out BENCH_core.json
+        --out BENCH_core.json --tune-jobs 4
 
 ``--quick`` keeps the whole run in the seconds range (CI smoke);
 without it each timing uses more repeats for stabler numbers.
+``--tune-jobs`` sets the parallel worker count of the tuning rows
+(default 4; CI uses 2 to match its runner).
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
+import os
 import platform
 import time
+from functools import partial
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.executor import get_shared
 from repro.core.model import IFair
 from repro.core.objective import IFairObjective
+from repro.core.tuning import GridSearch, HalvingConfig, TuningCriterion
+from repro.data.census import generate_census
 from repro.data.schema import TabularDataset
+from repro.exceptions import ValidationError
+from repro.data.splits import stratified_split
+from repro.learners.logistic import LogisticRegression
+from repro.learners.scaler import StandardScaler
+from repro.metrics.classification import roc_auc
+from repro.metrics.individual import consistency
 from repro.serving.engine import InferenceEngine
 from repro.serving.fit import fit_serving_pipeline
 
 # The ISSUE-2 acceptance configuration for the oracle timings.
 M, N, K = 2000, 40, 10
 PROTECTED = [38, 39]
+
+# The ISSUE-4 tuning benchmark: the paper's protocol shape (best-of-3
+# restarts, mixture x prototype grid) on a census sample, with widely
+# spaced mixtures so the three criteria have clear winners.  Seeded:
+# the halving-agreement check below is pinned to this configuration.
+TUNE_SEED = 11
+TUNE_RECORDS = 500
+TUNE_MIXTURES = (0.01, 1.0, 100.0)
+TUNE_PROTOTYPES = (4, 8, 12)
+TUNE_RESTARTS = 3
+TUNE_MAX_ITER = 64
+TUNE_HALVING = HalvingConfig(n_rungs=3, promote_fraction=0.2)
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -145,19 +172,25 @@ def bench_fit(repeats: int) -> dict:
     rng = np.random.default_rng(2)
     X = rng.normal(size=(400, 20))
 
-    def fit(n_jobs=None):
+    def fit(n_jobs=None, backend="process"):
         IFair(
             n_prototypes=8,
             n_restarts=2,
             max_iter=30,
             max_pairs=5000,
             n_jobs=n_jobs,
+            backend=backend,
             random_state=0,
         ).fit(X, [19])
 
     return {
         "fit_M400_N20_K8_r2_s": _best_of(fit, repeats),
+        # jobs2 restarts now fork real worker processes (PR 4); the
+        # thread row keeps the old GIL-bound escape hatch measurable.
         "fit_M400_N20_K8_r2_jobs2_s": _best_of(lambda: fit(2), repeats),
+        "fit_M400_N20_K8_r2_jobs2_thread_s": _best_of(
+            lambda: fit(2, "thread"), repeats
+        ),
     }
 
 
@@ -185,9 +218,15 @@ def bench_serving(repeats: int) -> dict:
     )
     artifact = fit_serving_pipeline(dataset, n_prototypes=8, max_iter=40, random_state=0)
     engine = InferenceEngine(artifact, cache_size=0)
-    engine.transform(X[:1])  # warm up
+    # Warm-up phase: the first calls pay allocator growth and code-path
+    # warming that steady-state traffic never sees; without it the p99
+    # row measures cold-start noise instead of the hot loop.
+    for _ in range(100):
+        record = rng.normal(size=(1, n))
+        record[0, n - 1] = 0.0
+        engine.transform(record)
     latencies = []
-    for _ in range(max(50, repeats * 20)):
+    for _ in range(max(300, repeats * 100)):
         record = rng.normal(size=(1, n))
         record[0, n - 1] = 0.0
         start = time.perf_counter()
@@ -200,7 +239,129 @@ def bench_serving(repeats: int) -> dict:
     }
 
 
-def run(label: str, quick: bool) -> dict:
+# ----------------------------------------------------------------------
+# end-to-end tuning throughput (ISSUE 4)
+
+
+def _tune_candidate_build(spec: dict, params: dict) -> IFair:
+    """Fit one tuning candidate from the shared-memory broadcast."""
+    shared = get_shared()
+    return IFair(init="protected_zero", random_state=spec["seed"], **params).fit(
+        shared["X"][shared["train"]], spec["protected_indices"]
+    )
+
+
+def _tune_candidate_evaluate(spec: dict, model: IFair) -> tuple:
+    """Validation (AUC, yNN) of one candidate, as in Section V-B."""
+    shared = get_shared()
+    X, y, X_star = shared["X"], shared["y"], shared["X_star"]
+    train, val = shared["train"], shared["val"]
+    clf = LogisticRegression(l2=1.0).fit(model.transform(X[train]), y[train])
+    proba = clf.predict_proba(model.transform(X[val]))
+    pred = (proba >= 0.5).astype(np.float64)
+    try:
+        auc = float(roc_auc(y[val], proba))
+    except ValidationError:  # single-class split: score as NaN, keep timing
+        auc = float("nan")
+    ynn = float(consistency(X_star[val], pred, k=10))
+    return auc, ynn
+
+
+def bench_tuning(tune_jobs: int, quick: bool = False) -> dict:
+    """Wall-clock of the experiment tuning loop, four execution modes.
+
+    Serial exhaustive is the paper protocol baseline; ``jobs=J``
+    exhaustive isolates the process-pool scaling (≈ J x on a J-core
+    machine, ≈ 1 x on a single core — ``tuning_cpu_count`` records
+    which one this entry measured); halving isolates the algorithmic
+    cut (independent of cores); jobs+halving is the shipped
+    configuration and the headline ``tuning_speedup_parallel`` row.
+    Every mode must select the same candidate under all three criteria
+    — the ``halving_agree_*`` flags record it.
+    """
+    # Quick mode (CI smoke) shrinks the dataset and grid; both shapes
+    # are seeded configurations whose halving agreement is pinned.
+    records = 250 if quick else TUNE_RECORDS
+    prototypes = (4, 8) if quick else TUNE_PROTOTYPES
+    max_iter = 48 if quick else TUNE_MAX_ITER
+    dataset = generate_census(records, random_state=TUNE_SEED)
+    split = stratified_split(dataset.y, random_state=TUNE_SEED)
+    scaler = StandardScaler().fit(dataset.X[split.train])
+    X = scaler.transform(dataset.X)
+    grid = [
+        {
+            "lambda_util": lam,
+            "mu_fair": mu,
+            "n_prototypes": k,
+            "n_restarts": TUNE_RESTARTS,
+            "max_iter": max_iter,
+            "max_pairs": 2000,
+        }
+        for lam, mu, k in itertools.product(
+            TUNE_MIXTURES, TUNE_MIXTURES, prototypes
+        )
+    ]
+    spec = {
+        "seed": TUNE_SEED,
+        "protected_indices": [int(i) for i in np.atleast_1d(dataset.protected_indices)],
+    }
+    shared = {
+        "X": X,
+        "X_star": X[:, dataset.nonprotected_indices],
+        "y": dataset.y,
+        "train": split.train,
+        "val": split.val,
+    }
+
+    def run_mode(n_jobs, strategy):
+        search = GridSearch(
+            partial(_tune_candidate_build, spec),
+            partial(_tune_candidate_evaluate, spec),
+            grid,
+            n_jobs=n_jobs,
+            strategy=strategy,
+            halving=TUNE_HALVING,
+            keep_artifacts=False,
+            shared=shared,
+        )
+        start = time.perf_counter()
+        result = search.run()
+        return time.perf_counter() - start, result
+
+    t_serial, r_serial = run_mode(None, "exhaustive")
+    t_jobs, r_jobs = run_mode(tune_jobs, "exhaustive")
+    t_halving, r_halving = run_mode(None, "halving")
+    t_both, r_both = run_mode(tune_jobs, "halving")
+
+    timings = {
+        "tuning_grid_points": len(grid),
+        "tuning_cpu_count": os.cpu_count(),
+        "tuning_jobs": tune_jobs,
+        "tuning_serial_exhaustive_s": t_serial,
+        f"tuning_jobs{tune_jobs}_exhaustive_s": t_jobs,
+        "tuning_serial_halving_s": t_halving,
+        f"tuning_jobs{tune_jobs}_halving_s": t_both,
+        "tuning_halving_fits": r_halving.n_fits,
+        "tuning_exhaustive_fits": r_serial.n_fits,
+        "tuning_speedup_jobs": t_serial / t_jobs,
+        "tuning_speedup_halving": t_serial / t_halving,
+        # The shipped configuration (n_jobs=J + halving) against the
+        # paper-protocol baseline — the headline acceptance row.
+        "tuning_speedup_parallel": t_serial / t_both,
+    }
+    for criterion in TuningCriterion:
+        winner = r_serial.best(criterion).order
+        timings[f"halving_agree_{criterion.value}"] = bool(
+            r_halving.best(criterion).order == winner
+            and r_both.best(criterion).order == winner
+        )
+        timings[f"jobs_agree_{criterion.value}"] = bool(
+            r_jobs.best(criterion).order == winner
+        )
+    return timings
+
+
+def run(label: str, quick: bool, tune_jobs: int) -> dict:
     repeats = 3 if quick else 10
     entry = {
         "label": label,
@@ -215,6 +376,7 @@ def run(label: str, quick: bool) -> dict:
     entry.update(bench_fit(max(2, repeats // 2)))
     entry.update(bench_transform(repeats))
     entry.update(bench_serving(repeats))
+    entry.update(bench_tuning(tune_jobs, quick=quick))
     return entry
 
 
@@ -225,9 +387,15 @@ def main() -> None:
     parser.add_argument(
         "--out", default="BENCH_core.json", help="trajectory JSON file to append to"
     )
+    parser.add_argument(
+        "--tune-jobs",
+        type=int,
+        default=4,
+        help="worker count of the parallel tuning rows (default 4)",
+    )
     args = parser.parse_args()
 
-    entry = run(args.label, args.quick)
+    entry = run(args.label, args.quick, args.tune_jobs)
     path = Path(args.out)
     if path.exists():
         doc = json.loads(path.read_text())
@@ -257,6 +425,25 @@ def main() -> None:
         f"(rel err {entry['landmark256_fair_rel_err']:.2e}); "
         f"p=3 L=128 {entry['loss_and_grad_landmark128_p3_s'] * 1e3:.2f} ms; "
         "reference full-pair skipped (O(M^2) target)"
+    )
+    jobs = entry["tuning_jobs"]
+    agree = all(
+        entry[f"halving_agree_{c.value}"] and entry[f"jobs_agree_{c.value}"]
+        for c in TuningCriterion
+    )
+    print(
+        f"tuning ({entry['tuning_grid_points']}-point grid, "
+        f"{entry['tuning_cpu_count']} cpus): serial exhaustive "
+        f"{entry['tuning_serial_exhaustive_s']:.2f} s, jobs={jobs} "
+        f"{entry[f'tuning_jobs{jobs}_exhaustive_s']:.2f} s "
+        f"({entry['tuning_speedup_jobs']:.2f}x), halving "
+        f"{entry['tuning_serial_halving_s']:.2f} s "
+        f"({entry['tuning_speedup_halving']:.2f}x, "
+        f"{entry['tuning_halving_fits']} fits vs "
+        f"{entry['tuning_exhaustive_fits']}), jobs+halving "
+        f"{entry[f'tuning_jobs{jobs}_halving_s']:.2f} s; best "
+        f"{entry['tuning_speedup_parallel']:.2f}x, selection agreement "
+        f"{'OK' if agree else 'BROKEN'} under all three criteria"
     )
 
 

@@ -74,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of rendered tables",
     )
     _add_pair_mode_flags(run)
+    _add_tuning_flags(run)
 
     fit = sub.add_parser(
         "fit-save",
@@ -105,7 +106,29 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument(
         "--seed", type=int, default=7, help="master random seed (default 7)"
     )
+    fit.add_argument(
+        "--fit-jobs",
+        type=int,
+        default=None,
+        metavar="J",
+        help="worker processes for the fit's restarts (-1 = per CPU)",
+    )
+    fit.add_argument(
+        "--tune",
+        action="store_true",
+        help=(
+            "grid-search the mixture coefficients on a validation split "
+            "before the final fit (see --tune-criterion)"
+        ),
+    )
+    fit.add_argument(
+        "--tune-criterion",
+        choices=("max_utility", "max_fairness", "optimal"),
+        default="optimal",
+        help="selection rule for --tune (default optimal)",
+    )
     _add_pair_mode_flags(fit)
+    _add_tuning_flags(fit)
 
     serve = sub.add_parser("serve", help="serve a saved artifact over HTTP")
     serve.add_argument("--artifact", required=True, help="artifact directory")
@@ -158,6 +181,33 @@ def _add_pair_mode_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_tuning_flags(parser: argparse.ArgumentParser) -> None:
+    """Parallel-tuning flags shared by ``run`` and ``fit-save``.
+
+    ``--tune-jobs 4`` runs candidate fits on four worker processes
+    (training arrays broadcast once via shared memory); results are
+    identical to the serial run for any value.  ``--tune-strategy
+    halving`` switches the search to successive halving — typically
+    2-4x fewer fit-iterations over the paper grid.
+    """
+    parser.add_argument(
+        "--tune-jobs",
+        type=int,
+        default=None,
+        metavar="J",
+        help=(
+            "worker processes for hyper-parameter search "
+            "(default serial, -1 = one per CPU)"
+        ),
+    )
+    parser.add_argument(
+        "--tune-strategy",
+        choices=("exhaustive", "halving"),
+        default="exhaustive",
+        help="grid-search strategy (default exhaustive)",
+    )
+
+
 def _check_pair_mode_args(args) -> None:
     """Landmark knobs require the landmark oracle — fail loudly rather
     than silently running a different pair mode than the user asked
@@ -181,6 +231,12 @@ def _config(args) -> ExperimentConfig:
             pair_mode=args.pair_mode,
             n_landmarks=args.landmarks,
             landmark_method=args.landmark_method,
+        )
+    if args.tune_jobs is not None or args.tune_strategy != "exhaustive":
+        config = replace(
+            config,
+            tune_jobs=args.tune_jobs,
+            tune_strategy=args.tune_strategy,
         )
     return config
 
@@ -221,13 +277,24 @@ def _cmd_fit_save(args) -> int:
         pair_mode=args.pair_mode,
         n_landmarks=args.landmarks,
         landmark_method=args.landmark_method,
+        n_jobs=args.fit_jobs,
+        tune=args.tune,
+        tune_criterion=args.tune_criterion,
+        tune_jobs=args.tune_jobs,
+        tune_strategy=args.tune_strategy,
         random_state=args.seed,
     )
     path = save_artifact(args.out, artifact)
+    tuned = artifact.metadata.get("tuned")
+    suffix = (
+        f", tuned lambda={tuned['lambda_util']} mu={tuned['mu_fair']}"
+        if tuned
+        else ""
+    )
     print(
         f"saved {args.dataset} serving artifact to {path} "
         f"(K={args.n_prototypes}, loss={artifact.model.loss_:.4f}, "
-        f"criterion={args.criterion})"
+        f"criterion={args.criterion}{suffix})"
     )
     return 0
 

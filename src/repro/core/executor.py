@@ -1,0 +1,504 @@
+"""Process-based parallel task execution for experiment workloads.
+
+Grid search fits hundreds of independent candidates and ``IFair.fit``
+runs independent restarts; both are pure-CPU NumPy/Python work that a
+thread pool cannot scale (the L-BFGS driver holds the GIL between BLAS
+calls).  :class:`ParallelExecutor` runs such task lists on a pool of
+**worker processes** with three properties the experiment layers rely
+on:
+
+* **determinism** — tasks carry their own seeds in the payload, results
+  are returned in task order, and reductions over them are therefore
+  independent of scheduling; for a fixed seed, ``n_jobs=1`` and
+  ``n_jobs=8`` produce bitwise-identical outputs;
+* **zero-copy inputs** — large arrays are broadcast once through
+  :mod:`repro.utils.shm` instead of being pickled per task; workers
+  read them via :func:`get_shared`;
+* **crash isolation** — a worker that dies mid-task (OOM kill,
+  segfault, ``os._exit``) is detected, respawned, and the task retried
+  up to ``max_retries`` times before :class:`WorkerCrashError` is
+  raised; a task that *raises* surfaces as a :class:`TaskError`
+  carrying the worker traceback, and the pool stays usable either way.
+
+Backends
+--------
+``"process"`` (default) forks one process per job slot.  Under the
+``fork`` start method the task function and ``state`` are handed to
+workers through inherited memory, so closures work; under ``spawn``
+they are pickled, so they must be module-level.  ``"thread"`` is an
+explicit escape hatch for workloads that release the GIL (e.g. fits
+dominated by large BLAS calls), and ``"serial"`` runs inline — the
+reference semantics the parallel backends must reproduce bitwise.
+
+Nesting is refused gracefully: code running inside a worker sees
+:func:`in_worker` return ``True`` and :func:`effective_n_jobs`
+collapse to 1, so a parallel grid search over a model whose ``fit``
+is itself parallel never over-subscribes the machine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError, ValidationError
+from repro.utils.shm import SharedArrays, attach
+
+EXECUTOR_BACKENDS = ("process", "thread", "serial")
+
+#: Environment flag set in worker processes; survives exec-style spawn.
+_WORKER_ENV = "REPRO_EXECUTOR_WORKER"
+
+# Fork-path handoff: (fn, state) published here before the fork are
+# inherited by the child without pickling, which is what lets closures
+# capture numpy arrays or fitted models as task functions.
+_FORK_HANDOFF: Dict[int, tuple] = {}
+_HANDOFF_COUNTER = itertools.count()
+
+# Worker-side context, also used by the serial/thread backends so task
+# functions read their inputs the same way under every backend.
+_WORKER_STATE: Optional[Any] = None
+_WORKER_SHARED: Dict[str, np.ndarray] = {}
+_IN_WORKER = False
+
+
+class TaskError(ReproError):
+    """A task raised inside a worker; carries the remote traceback."""
+
+    def __init__(self, task_index: int, exc_type: str, message: str, remote_tb: str):
+        super().__init__(
+            f"task {task_index} raised {exc_type}: {message}\n"
+            f"--- worker traceback ---\n{remote_tb}"
+        )
+        self.task_index = task_index
+        self.exc_type = exc_type
+        self.remote_traceback = remote_tb
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died mid-task and retries were exhausted."""
+
+    def __init__(self, task_index: int, attempts: int):
+        super().__init__(
+            f"worker died while running task {task_index} "
+            f"({attempts} attempt(s)); the task was retried on fresh "
+            "workers and crashed every time"
+        )
+        self.task_index = task_index
+        self.attempts = attempts
+
+
+def in_worker() -> bool:
+    """True when the calling code runs inside an executor worker."""
+    return _IN_WORKER or os.environ.get(_WORKER_ENV) == "1"
+
+
+def get_state() -> Any:
+    """The ``state`` object the executor was constructed with."""
+    return _WORKER_STATE
+
+
+def get_shared() -> Dict[str, np.ndarray]:
+    """The broadcast arrays, keyed as passed to ``shared=``."""
+    return _WORKER_SHARED
+
+
+def effective_n_jobs(n_jobs: Optional[int], *, limit: Optional[int] = None) -> int:
+    """Resolve an ``n_jobs`` knob into a concrete worker count.
+
+    ``None``/``1`` mean serial, ``-1`` means one worker per CPU, and
+    the result is clamped to ``limit`` (e.g. the task count).  Inside
+    an executor worker this always returns 1 — nested pools would
+    oversubscribe the machine without speeding anything up.
+    """
+    if n_jobs is not None and (n_jobs == 0 or n_jobs < -1):
+        raise ValidationError("n_jobs must be None, -1, or a positive integer")
+    if n_jobs is None:
+        jobs = 1
+    elif n_jobs == -1:
+        jobs = os.cpu_count() or 1
+    else:
+        jobs = int(n_jobs)
+    if in_worker():
+        return 1
+    if limit is not None:
+        jobs = min(jobs, max(1, int(limit)))
+    return max(1, jobs)
+
+
+def _worker_main(
+    handoff_token: Optional[int],
+    pickled_fn_state: Optional[tuple],
+    shared_handles: Optional[dict],
+    conn,
+) -> None:
+    """Worker process body: attach shared arrays, then serve tasks.
+
+    Each worker talks to the parent over its **own** duplex pipe —
+    there is no shared queue, so a worker dying at any instant can
+    never leave a cross-worker lock held or interleave a partial
+    message into another worker's stream (``Connection.send`` is
+    synchronous; an async feeder thread would let ``os._exit`` kill a
+    half-written frame).  Messages out are ``(task_index, status,
+    payload)`` with status ``"ok"`` or ``"err"``; the loop exits on a
+    ``None`` sentinel.  Everything here is deliberately small: this
+    code runs outside the parent's test coverage, so the logic that
+    matters (retry accounting, ordering, reduction) lives parent-side.
+    """
+    global _WORKER_STATE, _WORKER_SHARED, _IN_WORKER
+    _IN_WORKER = True
+    os.environ[_WORKER_ENV] = "1"
+    if handoff_token is not None:  # fork path: inherited, never pickled
+        fn, state = _FORK_HANDOFF[handoff_token]
+    else:  # spawn path
+        fn, state = pickled_fn_state
+    _WORKER_STATE = state
+    attached = attach(shared_handles) if shared_handles else None
+    _WORKER_SHARED = attached.arrays if attached is not None else {}
+    try:
+        while True:
+            item = conn.recv()
+            if item is None:
+                break
+            index, payload = item
+            try:
+                conn.send((index, "ok", fn(payload)))
+            except BaseException as exc:  # surfaced parent-side as TaskError
+                conn.send(
+                    (
+                        index,
+                        "err",
+                        (type(exc).__name__, str(exc), traceback.format_exc()),
+                    )
+                )
+    except EOFError:  # parent died; nothing left to serve
+        pass
+    finally:
+        if attached is not None:
+            attached.close()
+
+
+class ParallelExecutor:
+    """Run one task function over payload lists, in parallel.
+
+    Parameters
+    ----------
+    fn:
+        The task function, called as ``fn(payload)`` for every payload
+        passed to :meth:`map`.  It reads broadcast arrays via
+        :func:`get_shared` and the shared ``state`` via
+        :func:`get_state`, identically under every backend.
+    n_jobs:
+        Worker count (``None``/1 serial, ``-1`` per-CPU).
+    backend:
+        ``"process"`` (default), ``"thread"``, or ``"serial"``.
+    state:
+        Arbitrary object made available to tasks via :func:`get_state`
+        — transported by fork inheritance when possible, by pickle
+        under spawn.
+    shared:
+        Mapping of name -> ndarray broadcast zero-copy to workers
+        (:mod:`repro.utils.shm`); the executor owns the segments and
+        unlinks them on :meth:`shutdown` even when a map raises.
+    max_retries:
+        How many times a task whose worker *died* is retried on a
+        fresh worker before :class:`WorkerCrashError`.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        n_jobs: Optional[int] = None,
+        *,
+        backend: str = "process",
+        state: Any = None,
+        shared: Optional[Mapping[str, np.ndarray]] = None,
+        max_retries: int = 1,
+    ):
+        if backend not in EXECUTOR_BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {EXECUTOR_BACKENDS}, got {backend!r}"
+            )
+        if max_retries < 0:
+            raise ValidationError("max_retries must be non-negative")
+        self.fn = fn
+        self.n_jobs = effective_n_jobs(n_jobs)
+        self.backend = backend if self.n_jobs > 1 else "serial"
+        self.max_retries = int(max_retries)
+        self._state = state
+        self._shared_input = dict(shared) if shared else {}
+        self._shm: Optional[SharedArrays] = None
+        self._workers: List = []
+        self._conns: List = []
+        self._ctx = None
+        self._handoff_token: Optional[int] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def __enter__(self) -> "ParallelExecutor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        if self.backend != "process":
+            return
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._fork = self._ctx.get_start_method() == "fork"
+        if self._shared_input:
+            self._shm = SharedArrays(self._shared_input)
+        if self._fork:
+            self._handoff_token = next(_HANDOFF_COUNTER)
+            _FORK_HANDOFF[self._handoff_token] = (self.fn, self._state)
+        for worker_id in range(self.n_jobs):
+            self._spawn_worker(worker_id)
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        """(Re)start one worker on a private duplex pipe."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._handoff_token,
+                None if self._fork else (self.fn, self._state),
+                self._shm.handles if self._shm is not None else None,
+                child_conn,
+            ),
+            daemon=True,
+        )
+        process.start()
+        # The child holds its own copy of the pipe end; closing ours
+        # makes a dead worker observable as EOF on parent_conn.
+        child_conn.close()
+        if worker_id < len(self._workers):
+            self._workers[worker_id] = process
+            self._conns[worker_id] = parent_conn
+        else:
+            self._workers.append(process)
+            self._conns.append(parent_conn)
+
+    def shutdown(self) -> None:
+        """Stop workers and release shared segments (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (OSError, ValueError, BrokenPipeError):  # dead worker
+                pass
+        for process in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._workers = []
+        self._conns = []
+        if self._handoff_token is not None:
+            _FORK_HANDOFF.pop(self._handoff_token, None)
+            self._handoff_token = None
+        if self._shm is not None:
+            self._shm.unlink()
+            self._shm = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def map(self, payloads: Sequence[Any]) -> List[Any]:
+        """Run ``fn`` over every payload; results in payload order.
+
+        Raises :class:`TaskError` if a task raised (after letting
+        in-flight tasks finish) and :class:`WorkerCrashError` when a
+        worker death exhausted its retries.  The pool survives a
+        ``TaskError`` — subsequent :meth:`map` calls reuse it.
+        """
+        if not self._started:
+            self.start()
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self.backend == "serial":
+            return self._map_local(payloads, parallel=False)
+        if self.backend == "thread":
+            return self._map_local(payloads, parallel=True)
+        return self._map_process(payloads)
+
+    def _map_local(self, payloads: List[Any], *, parallel: bool) -> List[Any]:
+        """Serial/thread execution with the same context accessors.
+
+        The thread backend also raises the :func:`in_worker` flag so
+        task code applying the nested-parallelism guard behaves the
+        same as under the process backend; plain serial maps leave it
+        down (a serial search over parallel fits is legitimate).
+        """
+        global _WORKER_STATE, _WORKER_SHARED, _IN_WORKER
+        prev = (_WORKER_STATE, _WORKER_SHARED, _IN_WORKER)
+        _WORKER_STATE = self._state
+        _WORKER_SHARED = dict(self._shared_input)
+        try:
+            if not parallel:
+                return [self.fn(payload) for payload in payloads]
+            _IN_WORKER = True
+            with ThreadPoolExecutor(max_workers=self.n_jobs) as pool:
+                return list(pool.map(self.fn, payloads))
+        finally:
+            _WORKER_STATE, _WORKER_SHARED, _IN_WORKER = prev
+
+    def _map_process(self, payloads: List[Any]) -> List[Any]:
+        """Dispatch/collect loop over the per-worker pipes.
+
+        ``connection.wait`` watches every worker's pipe *and* its
+        process sentinel, so a completed task and a crashed worker are
+        both observed immediately, with no polling interval and no
+        shared queue whose locks a dying worker could take down.
+        """
+        n_tasks = len(payloads)
+        results: List[Any] = [None] * n_tasks
+        done = [False] * n_tasks
+        retries = [0] * n_tasks
+        pending = list(range(n_tasks - 1, -1, -1))  # pop() -> task order
+        assigned: Dict[int, Optional[int]] = {
+            w: None for w in range(len(self._workers))
+        }
+        n_done = 0
+        failure: Optional[TaskError] = None
+
+        def dispatch(worker_id: int) -> None:
+            while failure is None and pending:
+                index = pending.pop()
+                try:
+                    self._conns[worker_id].send((index, payloads[index]))
+                except (BrokenPipeError, OSError):
+                    # The worker died between its last answer and this
+                    # send; its slot is already unassigned, so this is
+                    # a plain respawn, not a task retry.
+                    pending.append(index)
+                    self._handle_crash(worker_id, assigned, retries, pending)
+                    continue
+                assigned[worker_id] = index
+                return
+
+        def record(index: int, status: str, payload: Any) -> None:
+            nonlocal n_done, failure
+            if status == "ok":
+                results[index] = payload
+            elif failure is None:
+                failure = TaskError(index, *payload)
+            if not done[index]:
+                done[index] = True
+                n_done += 1
+
+        for worker_id in assigned:
+            dispatch(worker_id)
+
+        while n_done < n_tasks:
+            if failure is not None and all(
+                index is None for index in assigned.values()
+            ):
+                break  # error + nothing in flight: surface it
+            watch = {self._conns[w]: w for w in assigned}
+            watch.update({self._workers[w].sentinel: w for w in assigned})
+            for ready in connection.wait(list(watch)):
+                worker_id = watch[ready]
+                conn = self._conns[worker_id]
+                if ready is conn or conn.poll():
+                    # Drain the result even when the wake-up came from
+                    # the sentinel — the worker may have finished its
+                    # task and exited before we looked.
+                    try:
+                        index, status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        self._handle_crash(worker_id, assigned, retries, pending)
+                        dispatch(worker_id)
+                        continue
+                    assigned[worker_id] = None
+                    record(index, status, payload)
+                    dispatch(worker_id)
+                elif not self._workers[worker_id].is_alive():
+                    self._handle_crash(worker_id, assigned, retries, pending)
+                    dispatch(worker_id)
+
+        if failure is not None:
+            raise failure
+        return results
+
+    def _handle_crash(
+        self,
+        worker_id: int,
+        assigned: Dict[int, Optional[int]],
+        retries: List[int],
+        pending: List[int],
+    ) -> None:
+        """Respawn a dead worker and requeue (or give up on) its task."""
+        self._workers[worker_id].join()
+        self._conns[worker_id].close()
+        index = assigned[worker_id]
+        self._spawn_worker(worker_id)
+        assigned[worker_id] = None
+        if index is None:
+            return
+        retries[index] += 1
+        if retries[index] > self.max_retries:
+            self._abort_workers()
+            raise WorkerCrashError(index, retries[index])
+        # Retry on the freshly spawned worker; determinism is
+        # unaffected because the payload (and its seed) is reused.
+        pending.append(index)
+
+    def _abort_workers(self) -> None:
+        """Tear the pool down hard after an unrecoverable crash."""
+        for process in self._workers:
+            if process.is_alive():
+                process.terminate()
+        for process in self._workers:
+            process.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._workers = []
+        self._conns = []
+        self._started = False
+        if self._handoff_token is not None:
+            _FORK_HANDOFF.pop(self._handoff_token, None)
+            self._handoff_token = None
+        if self._shm is not None:
+            self._shm.unlink()
+            self._shm = None
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    n_jobs: Optional[int] = None,
+    *,
+    backend: str = "process",
+    state: Any = None,
+    shared: Optional[Mapping[str, np.ndarray]] = None,
+    max_retries: int = 1,
+) -> List[Any]:
+    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    with ParallelExecutor(
+        fn,
+        n_jobs,
+        backend=backend,
+        state=state,
+        shared=shared,
+        max_retries=max_retries,
+    ) as executor:
+        return executor.map(payloads)

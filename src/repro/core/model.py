@@ -17,20 +17,26 @@ keeps the restart with the lowest training loss.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy import optimize
 
+from repro.core.executor import (
+    ParallelExecutor,
+    effective_n_jobs,
+    get_shared,
+    get_state,
+)
 from repro.core.objective import PAIR_MODES, IFairObjective
 from repro.exceptions import NotFittedError, ValidationError
 from repro.utils.landmarks import LANDMARK_METHODS
 from repro.utils.mathkit import softmax, weighted_minkowski_to_prototypes
 from repro.utils.rng import RandomStateLike, check_random_state, spawn_seeds
 from repro.utils.validation import check_matrix, check_protected_indices
+
+RESTART_BACKENDS = ("process", "thread")
 
 
 @dataclass
@@ -41,6 +47,37 @@ class RestartRecord:
     loss: float
     n_iterations: int
     converged: bool
+
+
+# One (model, objective, bounds) triple per worker process: workers
+# serve every restart of one fit, so the deterministic objective —
+# including its landmark selection and pair precomputations — is
+# rebuilt once from the broadcast matrix, not once per task.
+_WORKER_FIT_CACHE: dict = {}
+
+
+def _restart_task(payload: Tuple[int, int]) -> Tuple["RestartRecord", np.ndarray]:
+    """Executor task: run one restart inside a worker process.
+
+    Reads the training matrix via the executor's shared-memory
+    broadcast and the estimator parameters via its state channel, then
+    reuses the exact serial code path (:meth:`IFair._run_restart`), so
+    parallel fits are bitwise-identical to sequential ones.
+    """
+    index, seed = payload
+    state = get_state()
+    key = id(state)
+    cached = _WORKER_FIT_CACHE.get(key)
+    if cached is None:
+        _WORKER_FIT_CACHE.clear()  # one fit per pool; drop stale entries
+        model = IFair(**state["params"])
+        X = get_shared()["X"]
+        model._protected = check_protected_indices(state["protected"], X.shape[1])
+        objective = model._build_objective(X)
+        cached = (model, objective, model._bounds(objective))
+        _WORKER_FIT_CACHE[key] = cached
+    model, objective, bounds = cached
+    return model._run_restart(objective, bounds, seed, index=index)
 
 
 class IFair:
@@ -85,11 +122,22 @@ class IFair:
         deterministic under ``random_state``.
     n_jobs:
         Number of restarts optimised concurrently.  ``None`` or ``1``
-        runs them sequentially; ``-1`` uses one worker per CPU.
-        Restarts run in threads (the GEMM-bound oracle releases the
-        GIL inside BLAS) and the selected model is identical to the
-        sequential result: the best loss wins, ties broken by seed
-        order.
+        runs them sequentially; ``-1`` uses one worker per CPU.  The
+        selected model is identical to the sequential result for any
+        value: the best loss wins, ties broken by seed order.
+    backend:
+        How parallel restarts run: ``"process"`` (default) forks real
+        workers through :class:`repro.core.executor.ParallelExecutor`
+        — the training matrix is broadcast zero-copy via shared
+        memory and each worker rebuilds the (deterministic) objective
+        once — or ``"thread"``, the historical escape hatch for fits
+        dominated by GIL-releasing BLAS calls.
+    warm_start_theta:
+        Optional packed parameter vector ``[V.ravel(), alpha]`` used
+        as the first restart's initial point instead of its seeded
+        draw (remaining restarts keep their seeds).  This is how
+        successive-halving tuning resumes a survivor from its
+        previous-rung fit.
     random_state:
         Master seed: spawns per-restart seeds and the pair subsample.
 
@@ -125,6 +173,8 @@ class IFair:
         n_landmarks: Optional[int] = None,
         landmark_method: str = "kmeans++",
         n_jobs: Optional[int] = None,
+        backend: str = "process",
+        warm_start_theta: Optional[np.ndarray] = None,
         random_state: RandomStateLike = 0,
     ):
         if init not in ("random", "protected_zero"):
@@ -143,6 +193,10 @@ class IFair:
             raise ValidationError("n_landmarks must be at least 1")
         if n_jobs is not None and (n_jobs == 0 or n_jobs < -1):
             raise ValidationError("n_jobs must be None, -1, or a positive integer")
+        if backend not in RESTART_BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {RESTART_BACKENDS}, got {backend!r}"
+            )
         self.n_prototypes = int(n_prototypes)
         self.lambda_util = float(lambda_util)
         self.mu_fair = float(mu_fair)
@@ -157,6 +211,12 @@ class IFair:
         self.n_landmarks = n_landmarks
         self.landmark_method = landmark_method
         self.n_jobs = n_jobs
+        self.backend = backend
+        self.warm_start_theta = (
+            None
+            if warm_start_theta is None
+            else np.asarray(warm_start_theta, dtype=np.float64).ravel()
+        )
         self.random_state = random_state
 
         self.prototypes_: Optional[np.ndarray] = None
@@ -182,35 +242,35 @@ class IFair:
         """
         X = check_matrix(X, "X", min_rows=2)
         self._protected = check_protected_indices(protected_indices, X.shape[1])
-        objective = IFairObjective(
-            X,
-            self._protected,
-            lambda_util=self.lambda_util,
-            mu_fair=self.mu_fair,
-            n_prototypes=self.n_prototypes,
-            p=self.p,
-            max_pairs=self.max_pairs,
-            pair_mode=self.pair_mode,
-            n_landmarks=self.n_landmarks,
-            landmark_method=self.landmark_method,
-            random_state=self.random_state,
-        )
+        objective = self._build_objective(X)
         self.landmarks_ = objective.landmark_indices
         seeds = spawn_seeds(self.random_state, self.n_restarts)
         bounds = self._bounds(objective)
+        if self.warm_start_theta is not None and (
+            self.warm_start_theta.size != objective.n_params
+        ):
+            raise ValidationError(
+                f"warm_start_theta must have {objective.n_params} entries, "
+                f"got {self.warm_start_theta.size}"
+            )
         workers = self._n_workers()
-        if workers > 1:
-            # The objective's workspace buffers are thread-local, so
-            # one shared oracle is safe; BLAS releases the GIL, so the
-            # GEMM-bound restarts genuinely overlap.
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(
-                    pool.map(
-                        lambda seed: self._run_restart(objective, bounds, seed), seeds
-                    )
-                )
+        if workers > 1 and self.backend == "process":
+            outcomes = self._restarts_process(objective.X, seeds, workers)
+        elif workers > 1:
+            # Thread escape hatch: the objective's workspace buffers
+            # are thread-local, so one shared oracle is safe; only
+            # worthwhile when BLAS (which releases the GIL) dominates.
+            with ParallelExecutor(
+                lambda task: self._run_restart(objective, bounds, task[1], index=task[0]),
+                workers,
+                backend="thread",
+            ) as pool:
+                outcomes = pool.map(list(enumerate(seeds)))
         else:
-            outcomes = [self._run_restart(objective, bounds, seed) for seed in seeds]
+            outcomes = [
+                self._run_restart(objective, bounds, seed, index=index)
+                for index, seed in enumerate(seeds)
+            ]
 
         # Deterministic best-of-N selection, independent of completion
         # order: strict improvement in seed order breaks ties in favour
@@ -229,18 +289,91 @@ class IFair:
         self.loss_ = best_loss
         return self
 
+    def _build_objective(self, X: np.ndarray) -> IFairObjective:
+        """The loss/gradient oracle for ``X`` under this configuration.
+
+        Deterministic in (X, constructor params): executor workers
+        rebuild it from the shared-memory broadcast and optimise the
+        exact oracle the serial path does.
+        """
+        return IFairObjective(
+            X,
+            self._protected,
+            lambda_util=self.lambda_util,
+            mu_fair=self.mu_fair,
+            n_prototypes=self.n_prototypes,
+            p=self.p,
+            max_pairs=self.max_pairs,
+            pair_mode=self.pair_mode,
+            n_landmarks=self.n_landmarks,
+            landmark_method=self.landmark_method,
+            random_state=self.random_state,
+        )
+
     def _n_workers(self) -> int:
-        """Resolve ``n_jobs`` into a concrete worker count for this fit."""
-        if self.n_jobs is None:
-            return 1
-        jobs = os.cpu_count() or 1 if self.n_jobs == -1 else self.n_jobs
-        return max(1, min(int(jobs), self.n_restarts))
+        """Resolve ``n_jobs`` into a concrete worker count for this fit.
+
+        Collapses to 1 inside an executor worker (nested pools would
+        oversubscribe the machine — a parallel grid search over
+        parallel fits runs the outer level wide, the inner serial).
+        """
+        return effective_n_jobs(self.n_jobs, limit=self.n_restarts)
+
+    def _restarts_process(
+        self, X: np.ndarray, seeds: List[int], workers: int
+    ) -> List[Tuple[RestartRecord, np.ndarray]]:
+        """Run restarts on a process pool with a shared-memory ``X``.
+
+        Each worker rebuilds the objective once from the broadcast
+        matrix and the constructor parameters (both deterministic, so
+        every worker optimises the exact oracle the serial path does)
+        and then serves any number of restart tasks; results reduce in
+        seed order, making the selected model bitwise-identical to the
+        sequential fit.
+        """
+        state = {
+            "params": self.get_params(),
+            "protected": None if self._protected is None else list(self._protected),
+        }
+        with ParallelExecutor(
+            _restart_task,
+            workers,
+            state=state,
+            shared={"X": X},
+        ) as pool:
+            return pool.map(list(enumerate(seeds)))
+
+    def get_params(self) -> Dict:
+        """Constructor arguments of this estimator (picklable)."""
+        return {
+            "n_prototypes": self.n_prototypes,
+            "lambda_util": self.lambda_util,
+            "mu_fair": self.mu_fair,
+            "p": self.p,
+            "init": self.init,
+            "protected_alpha_init": self.protected_alpha_init,
+            "n_restarts": self.n_restarts,
+            "max_iter": self.max_iter,
+            "tol": self.tol,
+            "max_pairs": self.max_pairs,
+            "pair_mode": self.pair_mode,
+            "n_landmarks": self.n_landmarks,
+            "landmark_method": self.landmark_method,
+            "n_jobs": self.n_jobs,
+            "backend": self.backend,
+            "warm_start_theta": self.warm_start_theta,
+            "random_state": self.random_state,
+        }
 
     def _run_restart(
-        self, objective: IFairObjective, bounds, seed: int
+        self, objective: IFairObjective, bounds, seed: int, *, index: int = -1
     ) -> Tuple[RestartRecord, np.ndarray]:
-        """Optimise from one seeded initialisation; thread-safe."""
-        theta0 = self._initial_theta(objective, seed)
+        """Optimise from one seeded initialisation; thread-safe.
+
+        ``index`` identifies the restart within the fit: restart 0
+        starts from ``warm_start_theta`` when one was given.
+        """
+        theta0 = self._initial_theta(objective, seed, index=index)
         result = optimize.minimize(
             objective.loss_and_grad,
             theta0,
@@ -262,7 +395,11 @@ class IFair:
         n_v = objective.n_prototypes * objective.n_features
         return [(None, None)] * n_v + [(0.0, None)] * objective.n_features
 
-    def _initial_theta(self, objective: IFairObjective, seed: int) -> np.ndarray:
+    def _initial_theta(
+        self, objective: IFairObjective, seed: int, *, index: int = -1
+    ) -> np.ndarray:
+        if index == 0 and self.warm_start_theta is not None:
+            return self.warm_start_theta.copy()
         rng = check_random_state(seed)
         V0 = rng.uniform(0.0, 1.0, size=(objective.n_prototypes, objective.n_features))
         alpha0 = rng.uniform(0.0, 1.0, size=objective.n_features)
@@ -276,7 +413,23 @@ class IFair:
         if self.prototypes_ is None or self.alpha_ is None:
             raise NotFittedError("IFair must be fitted before transforming data")
 
-    def memberships(self, X, *, batch_size: Optional[int] = None) -> np.ndarray:
+    @property
+    def theta_(self) -> np.ndarray:
+        """Fitted packed parameter vector ``[V.ravel(), alpha]``.
+
+        The vector accepted back by ``warm_start_theta`` — successive
+        halving resumes survivors from it across rungs.
+        """
+        self._check_fitted()
+        return np.concatenate([self.prototypes_.ravel(), self.alpha_])
+
+    def memberships(
+        self,
+        X,
+        *,
+        batch_size: Optional[int] = None,
+        validate: bool = True,
+    ) -> np.ndarray:
         """Per-record prototype probabilities u_i (Definition 8).
 
         Parameters
@@ -290,9 +443,17 @@ class IFair:
             (e.g. at serving time) while remaining exactly equal to the
             unchunked result, because each row's memberships depend only
             on that row.
+        validate:
+            Skip the input checks (finite values, shape) when the
+            caller already performed them — the serving engine's
+            single-record hot path validates once at ingestion and
+            must not pay the full-matrix scan twice per request.
         """
         self._check_fitted()
-        X = check_matrix(X, "X")
+        if validate:
+            X = check_matrix(X, "X")
+        else:
+            X = np.asarray(X, dtype=np.float64)
         if X.shape[1] != self.prototypes_.shape[1]:
             raise ValidationError(
                 f"X has {X.shape[1]} features, model was fitted with "
@@ -317,9 +478,18 @@ class IFair:
         d = weighted_minkowski_to_prototypes(X, self.prototypes_, self.alpha_, p=self.p)
         return softmax(-d, axis=1)
 
-    def transform(self, X, *, batch_size: Optional[int] = None) -> np.ndarray:
+    def transform(
+        self,
+        X,
+        *,
+        batch_size: Optional[int] = None,
+        validate: bool = True,
+    ) -> np.ndarray:
         """Apply the learned mapping phi (Definition 3) to records."""
-        return self.memberships(X, batch_size=batch_size) @ self.prototypes_
+        return (
+            self.memberships(X, batch_size=batch_size, validate=validate)
+            @ self.prototypes_
+        )
 
     def fit_transform(self, X, protected_indices=None) -> np.ndarray:
         """Fit on ``X`` and return its transformed representation."""

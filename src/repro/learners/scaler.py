@@ -41,13 +41,21 @@ class StandardScaler(BaseEstimator):
         self._fitted = True
         return self
 
-    def transform(self, X) -> np.ndarray:
+    def transform(self, X, *, validate: bool = True) -> np.ndarray:
+        """Scale ``X``; ``validate=False`` skips the input checks.
+
+        The serving hot path validates records once at ingestion and
+        must not pay a second full-matrix finite-value scan per
+        request — the arithmetic is identical either way.
+        """
         self._check_fitted()
-        X = check_matrix(X, "X")
-        if X.shape[1] != self.scale_.shape[0]:
-            raise ValidationError(
-                f"X has {X.shape[1]} features, scaler was fitted with {self.scale_.shape[0]}"
-            )
+        if validate:
+            X = check_matrix(X, "X")
+            if X.shape[1] != self.scale_.shape[0]:
+                raise ValidationError(
+                    f"X has {X.shape[1]} features, scaler was fitted with "
+                    f"{self.scale_.shape[0]}"
+                )
         return (X - self.mean_) / self.scale_
 
     def fit_transform(self, X) -> np.ndarray:

@@ -15,12 +15,14 @@ Protocol (Section V-B/V-D):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.executor import get_shared
 from repro.core.pareto import pareto_front
-from repro.core.tuning import TuningCriterion
+from repro.core.tuning import GridSearch, TuningCriterion
 from repro.data.schema import TabularDataset
 from repro.data.splits import Split, stratified_split
 from repro.exceptions import ValidationError
@@ -147,13 +149,113 @@ def _classifier_metrics(
     )
 
 
+@dataclass(frozen=True)
+class _CandidateSpec:
+    """Picklable description of one method's candidate-fitting job.
+
+    Everything a worker process needs *besides* the big arrays — those
+    travel once through the executor's shared-memory broadcast
+    (``X``, ``X_star``, ``y``, ``protected``) instead of being pickled
+    into each of the hundreds of grid tasks.
+    """
+
+    method: str
+    protected_indices: Tuple[int, ...]
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+    l2: float
+    consistency_k: int
+    random_state: int
+
+
+@dataclass
+class _FittedCandidate:
+    """Worker-side bundle of one fitted candidate (rarely pickled)."""
+
+    method: object
+    clf: LogisticRegression
+    spec: _CandidateSpec
+
+    @property
+    def theta_(self) -> Optional[np.ndarray]:
+        """Fitted parameter vector when the method exposes one."""
+        return getattr(self.method, "theta_", None)
+
+
+def _candidate_build(spec: _CandidateSpec, params: Dict) -> _FittedCandidate:
+    """Fit one (method, hyper-params) candidate plus its classifier."""
+    shared = get_shared()
+    X, y = shared["X"], shared["y"]
+    context = FitContext(
+        X_train=X[spec.train],
+        protected_indices=np.asarray(spec.protected_indices, dtype=np.intp),
+        y_train=y[spec.train],
+        protected_group_train=shared["protected"][spec.train],
+        random_state=spec.random_state,
+    )
+    method = make_method(spec.method, params)
+    method.fit(context)
+    Z_train = method.transform(X[spec.train])
+    clf = LogisticRegression(l2=spec.l2).fit(Z_train, y[spec.train])
+    return _FittedCandidate(method=method, clf=clf, spec=spec)
+
+
+def _candidate_evaluate(fitted: _FittedCandidate) -> Tuple[float, float]:
+    """Validation (AUC, yNN) — the tuning scores of Section V-B."""
+    shared = get_shared()
+    spec = fitted.spec
+    X, y, X_star = shared["X"], shared["y"], shared["X_star"]
+    Z_val = fitted.method.transform(X[spec.val])
+    val_proba = fitted.clf.predict_proba(Z_val)
+    val_pred = (val_proba >= 0.5).astype(np.float64)
+    try:
+        val_auc = float(roc_auc(y[spec.val], val_proba))
+    except ValidationError:
+        val_auc = float("nan")
+    val_ynn = float(
+        consistency(
+            X_star[spec.val],
+            val_pred,
+            k=min(spec.consistency_k, spec.val.size - 1),
+        )
+    )
+    return val_auc, val_ynn
+
+
+def _candidate_summarize(fitted: _FittedCandidate) -> Dict:
+    """Test-split metrics, reduced before the artifact is dropped."""
+    shared = get_shared()
+    spec = fitted.spec
+    X, y, X_star = shared["X"], shared["y"], shared["X_star"]
+    metrics = _classifier_metrics(
+        fitted.clf,
+        fitted.method.transform(X[spec.test]),
+        y[spec.test],
+        shared["protected"][spec.test],
+        X_star[spec.test],
+        spec.consistency_k,
+    )
+    return vars(metrics)
+
+
 def run_classification(
     dataset: TabularDataset,
     config: Optional[ExperimentConfig] = None,
     *,
     methods: Tuple[str, ...] = CLASSIFICATION_METHODS,
 ) -> ClassificationReport:
-    """Run the full classification protocol on one dataset."""
+    """Run the full classification protocol on one dataset.
+
+    Candidate fits route through :class:`repro.core.tuning.GridSearch`:
+    ``config.tune_jobs`` fans them over worker processes (the scaled
+    matrix, labels and group vectors are broadcast once via shared
+    memory) and ``config.tune_strategy="halving"`` switches the tuned
+    methods to successive halving — the report then contains the
+    final-rung survivors of each method rather than every grid point.
+    Fitted artifacts are always dropped after scoring
+    (``keep_artifacts=False``); only metrics leave the workers.
+    """
     config = config or ExperimentConfig.fast()
     if dataset.task != "classification":
         raise ValidationError(f"dataset {dataset.name!r} is not a classification task")
@@ -166,51 +268,45 @@ def run_classification(
     # scaling is part of preprocessing (Section V-B), so X* is scaled
     # too — otherwise a single wide-ranged column owns every neighbour.
     X_star = X[:, dataset.nonprotected_indices]
-
-    context = FitContext(
-        X_train=X[split.train],
-        protected_indices=dataset.protected_indices,
-        y_train=dataset.y[split.train],
-        protected_group_train=dataset.protected[split.train],
-        random_state=config.random_state,
-    )
+    shared = {
+        "X": X,
+        "X_star": X_star,
+        "y": dataset.y,
+        "protected": dataset.protected,
+    }
 
     report = ClassificationReport(dataset=dataset.name)
     for name in methods:
-        for params in method_candidates(name, config):
-            method = make_method(name, params)
-            method.fit(context)
-            Z_train = method.transform(X[split.train])
-            Z_val = method.transform(X[split.val])
-            Z_test = method.transform(X[split.test])
-            clf = LogisticRegression(l2=config.l2).fit(Z_train, dataset.y[split.train])
-
-            val_proba = clf.predict_proba(Z_val)
-            val_pred = (val_proba >= 0.5).astype(np.float64)
-            try:
-                val_auc = roc_auc(dataset.y[split.val], val_proba)
-            except ValidationError:
-                val_auc = float("nan")
-            val_ynn = consistency(
-                X_star[split.val],
-                val_pred,
-                k=min(config.consistency_k, split.val.size - 1),
-            )
-            test_metrics = _classifier_metrics(
-                clf,
-                Z_test,
-                dataset.y[split.test],
-                dataset.protected[split.test],
-                X_star[split.test],
-                config.consistency_k,
-            )
+        spec = _CandidateSpec(
+            method=name,
+            protected_indices=tuple(
+                int(i) for i in np.atleast_1d(dataset.protected_indices)
+            ),
+            train=split.train,
+            val=split.val,
+            test=split.test,
+            l2=config.l2,
+            consistency_k=config.consistency_k,
+            random_state=config.random_state,
+        )
+        search = GridSearch(
+            partial(_candidate_build, spec),
+            _candidate_evaluate,
+            method_candidates(name, config),
+            n_jobs=config.tune_jobs,
+            strategy=config.tune_strategy,
+            keep_artifacts=False,
+            summarize=_candidate_summarize,
+            shared=shared,
+        )
+        for candidate in search.run().candidates:
             report.candidates.append(
                 CandidateOutcome(
                     method=name,
-                    params=dict(params),
-                    val_auc=float(val_auc),
-                    val_consistency=float(val_ynn),
-                    test=test_metrics,
+                    params=dict(candidate.params),
+                    val_auc=candidate.utility,
+                    val_consistency=candidate.fairness,
+                    test=ClassifierMetrics(**candidate.info),
                 )
             )
     return report

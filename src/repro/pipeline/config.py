@@ -17,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.core.executor import effective_n_jobs
 from repro.core.objective import PAIR_MODES
-from repro.core.tuning import MIXTURE_GRID, PROTOTYPE_GRID
+from repro.core.tuning import MIXTURE_GRID, PROTOTYPE_GRID, TUNING_STRATEGIES
 from repro.exceptions import ValidationError
 from repro.utils.landmarks import LANDMARK_METHODS
 
@@ -48,6 +49,15 @@ class ExperimentConfig:
         default, min(M, 128)).
     landmark_method:
         ``"kmeans++"`` or ``"farthest"`` anchor seeding.
+    tune_jobs:
+        Candidate fits of the tuning protocol run on this many worker
+        processes (``None``/1 serial, ``-1`` per CPU).  Results are
+        identical for any value; see :mod:`repro.core.executor`.
+    tune_strategy:
+        ``"exhaustive"`` (default, the paper's protocol) or
+        ``"halving"`` (successive halving over the same grid — 2-4x
+        fewer fit-iterations; selection validated against exhaustive
+        on seeded configs, see :mod:`repro.core.tuning`).
     consistency_k:
         Neighbourhood size of yNN.
     l2:
@@ -68,6 +78,8 @@ class ExperimentConfig:
     pair_mode: str = "auto"
     n_landmarks: Optional[int] = None
     landmark_method: str = "kmeans++"
+    tune_jobs: Optional[int] = None
+    tune_strategy: str = "exhaustive"
     consistency_k: int = 10
     l2: float = 1.0
     classification_records: int = 450
@@ -91,6 +103,11 @@ class ExperimentConfig:
             )
         if self.n_landmarks is not None and self.n_landmarks < 1:
             raise ValidationError("n_landmarks must be positive")
+        effective_n_jobs(self.tune_jobs)  # validates the knob's range
+        if self.tune_strategy not in TUNING_STRATEGIES:
+            raise ValidationError(
+                f"tune_strategy must be one of {TUNING_STRATEGIES}"
+            )
 
     @classmethod
     def fast(cls, random_state: int = 7) -> "ExperimentConfig":

@@ -11,12 +11,13 @@ scores (with the paper's fair-score interpolation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.baselines.fair_ranking import FairRanker
-from repro.core.tuning import TuningCriterion
+from repro.core.tuning import GridSearch, TuningCriterion
 from repro.data.schema import TabularDataset
 from repro.data.splits import train_val_test_split
 from repro.data.xing import DEFAULT_WEIGHTS, compute_scores
@@ -33,7 +34,6 @@ from repro.pipeline.representations import (
 )
 from repro.ranking.engine import RankingEvaluation, evaluate_scores
 from repro.ranking.query import Query, build_queries
-from repro.utils.mathkit import harmonic_mean
 from repro.utils.tables import render_table
 
 
@@ -120,6 +120,42 @@ def _evaluate_method(
     return evaluation, dict(params)
 
 
+def _ranking_candidate(
+    method_name, dataset, X_scaled, queries, train_idx, config, true_scores, params
+) -> RankingEvaluation:
+    """GridSearch build: fit + evaluate one ranking candidate.
+
+    Module-level (used through :func:`functools.partial` over
+    picklable arguments) so the search works under the ``spawn``
+    start method, not only under ``fork``.
+    """
+    return _evaluate_method(
+        method_name,
+        params,
+        dataset,
+        X_scaled,
+        queries,
+        train_idx,
+        config,
+        true_scores=true_scores,
+    )[0]
+
+
+def _ranking_scores(evaluation: RankingEvaluation) -> Tuple[float, float]:
+    """GridSearch evaluate: MAP is the utility, yNN the fairness."""
+    return evaluation.map_score, evaluation.consistency
+
+
+def _ranking_summary(evaluation: RankingEvaluation) -> Dict:
+    """The four Table V measures, kept after the artifact is dropped."""
+    return {
+        "map_score": evaluation.map_score,
+        "kendall": evaluation.kendall,
+        "consistency": evaluation.consistency,
+        "protected_share": evaluation.protected_share,
+    }
+
+
 def _evaluate_fair_ranker(
     dataset: TabularDataset,
     X_scaled: np.ndarray,
@@ -196,25 +232,36 @@ def run_ranking(
 
     report = RankingReport(dataset=dataset.name, n_queries=len(queries))
     for name in methods:
-        best_eval: Optional[RankingEvaluation] = None
-        best_params: Dict = {}
-        best_score = -np.inf
-        for params in method_candidates(name, config):
-            evaluation, used = _evaluate_method(
-                name, params, dataset, X_scaled, queries, split.train, config,
-                true_scores=true_scores,
-            )
-            score = harmonic_mean(evaluation.map_score, evaluation.consistency)
-            if score > best_score:
-                best_score, best_eval, best_params = score, evaluation, used
+        # Tuned methods select by the paper's "Optimal" criterion
+        # (harmonic mean of MAP and yNN).  Candidate fits route
+        # through GridSearch, so ``config.tune_jobs`` fans them over
+        # worker processes and ``tune_strategy="halving"`` prunes the
+        # grid; only the four report measures leave each fit.
+        search = GridSearch(
+            partial(
+                _ranking_candidate,
+                name,
+                dataset,
+                X_scaled,
+                queries,
+                split.train,
+                config,
+                true_scores,
+            ),
+            _ranking_scores,
+            method_candidates(name, config),
+            n_jobs=config.tune_jobs,
+            strategy=config.tune_strategy,
+            keep_artifacts=False,
+            summarize=_ranking_summary,
+            theta_of=None,
+        )
+        best = search.run().best(TuningCriterion.OPTIMAL)
         report.rows.append(
             RankingRow(
                 method=name,
-                map_score=best_eval.map_score,
-                kendall=best_eval.kendall,
-                consistency=best_eval.consistency,
-                protected_share=best_eval.protected_share,
-                params=best_params,
+                params=dict(best.params),
+                **best.info,
             )
         )
     for p in fair_ps:

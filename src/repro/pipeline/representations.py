@@ -221,6 +221,9 @@ class IFairMethod(RepresentationMethod):
             pair_mode=str(self.params.get("pair_mode", "auto")),
             n_landmarks=self.params.get("n_landmarks"),
             landmark_method=str(self.params.get("landmark_method", "kmeans++")),
+            n_jobs=self.params.get("n_jobs"),
+            backend=str(self.params.get("backend", "process")),
+            warm_start_theta=self.params.get("warm_start_theta"),
             random_state=context.random_state,
         )
         self._model.fit(context.X_train, context.protected_indices)
@@ -228,6 +231,11 @@ class IFairMethod(RepresentationMethod):
 
     def transform(self, X: np.ndarray) -> np.ndarray:
         return self._model.transform(X)
+
+    @property
+    def theta_(self) -> np.ndarray:
+        """Fitted packed parameters — halving warm-starts from it."""
+        return self._model.theta_
 
     @classmethod
     def candidates(cls, config: ExperimentConfig) -> List[Dict]:

@@ -82,12 +82,32 @@ class MicroBatcher:
         self.n_coalesced = 0
 
     def submit(self, rows: np.ndarray) -> np.ndarray:
-        entry = _PendingBatch(rows)
         with self._lock:
-            self._queue.append(entry)
-            leader = not self._flushing
-            if leader:
+            solo = self._max_delay == 0.0 and not self._flushing and not self._queue
+            if solo:
                 self._flushing = True
+            else:
+                entry = _PendingBatch(rows)
+                self._queue.append(entry)
+                leader = not self._flushing
+                if leader:
+                    self._flushing = True
+        if solo:
+            # Uncontended fast path (the p50/p99 single-record route):
+            # no queue entry, no Event, no concatenate — one lock
+            # round-trip and the model pass itself.  Followers that
+            # queued during the pass inherit leadership on the way out.
+            self.n_flushes += 1
+            try:
+                return self._fn(rows)
+            finally:
+                with self._lock:
+                    if self._queue:
+                        successor = self._queue[0]
+                        successor.promoted = True
+                        successor.event.set()
+                    else:
+                        self._flushing = False
         if leader:
             if self._max_delay > 0:
                 time.sleep(self._max_delay)
@@ -220,14 +240,22 @@ class InferenceEngine:
         self._lock = threading.Lock()
         self.n_requests = 0
         self.n_records = 0
+        # Per-request config resolution hoisted out of the hot loop:
+        # the artifact's layout is immutable once served, so the
+        # attribute chains are bound once rather than re-resolved on
+        # every record.
+        self._model = artifact.model
+        self._encoder = artifact.encoder
+        self._scaler = artifact.scaler
+        self._n_features = int(artifact.n_features)
 
     # ------------------------------------------------------------------
     # record ingestion
 
     def _encode(self, records) -> np.ndarray:
         """Raw request records -> the encoded numeric feature space."""
-        if self.artifact.encoder is not None:
-            X = self.artifact.encoder.transform(np.asarray(records, dtype=object))
+        if self._encoder is not None:
+            X = self._encoder.transform(np.asarray(records, dtype=object))
         else:
             X = np.asarray(records, dtype=np.float64)
             if X.ndim == 1:
@@ -236,20 +264,27 @@ class InferenceEngine:
                 raise ValidationError("records must be a 2-D array-like")
         if X.shape[0] == 0:
             raise ValidationError("records must not be empty")
-        if X.shape[1] != self.artifact.n_features:
+        if X.shape[1] != self._n_features:
             raise ValidationError(
                 f"records have {X.shape[1]} features, model expects "
-                f"{self.artifact.n_features}"
+                f"{self._n_features}"
             )
         if not np.all(np.isfinite(X)):
             raise ValidationError("records contain NaN or infinite values")
         return X
 
     def _represent(self, X: np.ndarray) -> np.ndarray:
-        """Encoded records -> fair representation (scaler + iFair)."""
-        if self.artifact.scaler is not None:
-            X = self.artifact.scaler.transform(X)
-        return self.artifact.model.transform(X, batch_size=self.batch_size)
+        """Encoded records -> fair representation (scaler + iFair).
+
+        Inputs were validated by :meth:`_encode`, so both stages skip
+        their own re-validation scans (``validate=False`` — the
+        arithmetic is the batch pipeline's, unchanged).
+        """
+        if self._scaler is not None:
+            X = self._scaler.transform(X, validate=False)
+        return self._model.transform(
+            X, batch_size=self.batch_size, validate=False
+        )
 
     @staticmethod
     def _keys(X: np.ndarray) -> List[bytes]:

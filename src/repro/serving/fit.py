@@ -5,21 +5,125 @@ This is the offline half of the serving story: take a
 logistic scorer -> per-group thresholds, and package the result as a
 :class:`~repro.serving.artifacts.ServingArtifact` ready for
 ``save_artifact`` / the ``repro fit-save`` CLI verb.
+
+``tune=True`` grid-searches the mixture coefficients before the final
+fit: candidates are trained on an internal train split, scored on a
+held-out validation split by (AUC, yNN), selected under a
+:class:`~repro.core.tuning.TuningCriterion`, and the winner is re-fit
+on the full dataset.  The search drops every candidate artifact after
+scoring (``keep_artifacts=False``) and runs on ``tune_jobs`` worker
+processes — the encoded matrix is broadcast to them once via shared
+memory, never pickled per candidate.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from functools import partial
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.executor import get_shared
 from repro.core.model import IFair
+from repro.core.tuning import GridSearch, TuningCriterion
 from repro.data.schema import TabularDataset
+from repro.data.splits import stratified_split
 from repro.exceptions import ValidationError
 from repro.learners.logistic import LogisticRegression
 from repro.learners.scaler import StandardScaler
+from repro.metrics.classification import roc_auc
+from repro.metrics.individual import consistency
 from repro.posthoc.thresholds import GroupThresholdAdjuster
 from repro.serving.artifacts import ServingArtifact
+
+#: Mixture grid searched by ``tune=True`` — wide spacing, crossed with
+#: the model's prototype count.
+TUNE_MIXTURES: Tuple[float, ...] = (0.1, 1.0, 10.0)
+
+
+def _tune_build(spec: Dict, params: Dict) -> IFair:
+    """Worker body: fit one tuning candidate on the train split."""
+    shared = get_shared()
+    X = shared["X"]
+    model_params = dict(spec["model_params"])
+    model_params.update(params)
+    return IFair(**model_params).fit(
+        X[shared["train"]], list(spec["protected_indices"])
+    )
+
+
+def _tune_evaluate(spec: Dict, model: IFair) -> Tuple[float, float]:
+    """Validation (AUC, yNN) of one fitted tuning candidate."""
+    shared = get_shared()
+    X, y = shared["X"], shared["y"]
+    train, val = shared["train"], shared["val"]
+    Z_train = model.transform(X[train])
+    Z_val = model.transform(X[val])
+    clf = LogisticRegression(l2=spec["scorer_l2"]).fit(Z_train, y[train])
+    proba = clf.predict_proba(Z_val)
+    pred = (proba >= 0.5).astype(np.float64)
+    try:
+        auc = float(roc_auc(y[val], proba))
+    except ValidationError:
+        auc = float("nan")
+    nonprotected = [
+        i for i in range(X.shape[1]) if i not in set(spec["protected_indices"])
+    ]
+    ynn = float(
+        consistency(
+            X[val][:, nonprotected], pred, k=min(10, val.size - 1)
+        )
+    )
+    return auc, ynn
+
+
+def _tune_mixtures(
+    X: np.ndarray,
+    y: np.ndarray,
+    protected_indices,
+    model_params: Dict,
+    *,
+    scorer_l2: float,
+    tune_criterion: str,
+    tune_jobs: Optional[int],
+    tune_strategy: str,
+    random_state: int,
+) -> Dict:
+    """Select (lambda_util, mu_fair) on a held-out validation split."""
+    split = stratified_split(y, random_state=random_state)
+    # Budget keys ride in every grid point so the halving strategy can
+    # shrink them on early rungs (and warm-start survivors).
+    grid: List[Dict] = [
+        {
+            "lambda_util": lam,
+            "mu_fair": mu,
+            "max_iter": model_params["max_iter"],
+            "n_restarts": model_params["n_restarts"],
+        }
+        for lam in TUNE_MIXTURES
+        for mu in TUNE_MIXTURES
+    ]
+    spec = {
+        "model_params": model_params,
+        "protected_indices": tuple(int(i) for i in np.atleast_1d(protected_indices)),
+        "scorer_l2": scorer_l2,
+    }
+    search = GridSearch(
+        partial(_tune_build, spec),
+        partial(_tune_evaluate, spec),
+        grid,
+        n_jobs=tune_jobs,
+        strategy=tune_strategy,
+        keep_artifacts=False,
+        shared={
+            "X": X,
+            "y": y,
+            "train": np.concatenate([split.train, split.test]),
+            "val": split.val,
+        },
+    )
+    best = search.run().best(TuningCriterion(tune_criterion))
+    return {key: best.params[key] for key in ("lambda_util", "mu_fair")}
 
 
 def fit_serving_pipeline(
@@ -37,6 +141,12 @@ def fit_serving_pipeline(
     landmark_method: str = "kmeans++",
     criterion: str = "parity",
     scorer_l2: float = 1.0,
+    n_jobs: Optional[int] = None,
+    backend: str = "process",
+    tune: bool = False,
+    tune_criterion: str = "optimal",
+    tune_jobs: Optional[int] = None,
+    tune_strategy: str = "exhaustive",
     random_state: int = 0,
 ) -> ServingArtifact:
     """Fit scaler + iFair + scorer (+ thresholds) on ``dataset``.
@@ -47,6 +157,11 @@ def fit_serving_pipeline(
     classification verb).  ``pair_mode="landmark"`` switches the
     fairness oracle to the large-M landmark approximation (and drops
     the default pair subsample, which only applies to ``sampled``).
+
+    ``n_jobs``/``backend`` parallelise the fit's restarts; ``tune``
+    grid-searches the mixture coefficients first (see module
+    docstring), overriding ``lambda_util``/``mu_fair`` with the
+    winner before the final full-data fit.
     """
     if dataset.n_records < 10:
         raise ValidationError("serving pipeline needs at least 10 records")
@@ -54,24 +169,44 @@ def fit_serving_pipeline(
         max_pairs = None
     scaler = StandardScaler().fit(dataset.X)
     X = scaler.transform(dataset.X)
-    model = IFair(
-        n_prototypes=n_prototypes,
-        lambda_util=lambda_util,
-        mu_fair=mu_fair,
-        init=init,
-        n_restarts=n_restarts,
-        max_iter=max_iter,
-        max_pairs=max_pairs,
-        pair_mode=pair_mode,
-        n_landmarks=n_landmarks,
-        landmark_method=landmark_method,
-        random_state=random_state,
-    ).fit(X, dataset.protected_indices)
-    Z = model.transform(X)
 
     y = dataset.y
     if dataset.task != "classification":
         y = (dataset.y >= np.median(dataset.y)).astype(np.float64)
+
+    model_params = {
+        "n_prototypes": n_prototypes,
+        "lambda_util": lambda_util,
+        "mu_fair": mu_fair,
+        "init": init,
+        "n_restarts": n_restarts,
+        "max_iter": max_iter,
+        "max_pairs": max_pairs,
+        "pair_mode": pair_mode,
+        "n_landmarks": n_landmarks,
+        "landmark_method": landmark_method,
+        "n_jobs": n_jobs,
+        "backend": backend,
+        "random_state": random_state,
+    }
+    tuned_params: Optional[Dict] = None
+    if tune:
+        tuned_params = _tune_mixtures(
+            X,
+            y,
+            dataset.protected_indices,
+            model_params,
+            scorer_l2=scorer_l2,
+            tune_criterion=tune_criterion,
+            tune_jobs=tune_jobs,
+            tune_strategy=tune_strategy,
+            random_state=random_state,
+        )
+        model_params.update(tuned_params)
+
+    model = IFair(**model_params).fit(X, dataset.protected_indices)
+    Z = model.transform(X)
+
     scorer = LogisticRegression(l2=scorer_l2).fit(Z, y)
     scores = scorer.predict_proba(Z)
 
@@ -99,5 +234,7 @@ def fit_serving_pipeline(
             "n_landmarks": (
                 None if model.landmarks_ is None else int(model.landmarks_.size)
             ),
+            "tuned": tuned_params,
+            "tune_criterion": tune_criterion if tune else None,
         },
     )

@@ -29,6 +29,25 @@ settings.register_profile("default", max_examples=40, deadline=None)
 settings.register_profile("nightly", max_examples=400, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
+_NIGHTLY = os.environ.get("HYPOTHESIS_PROFILE", "default") == "nightly"
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "nightly: slow tests (executor stress, high-volume sweeps) run "
+        "only under the nightly profile (HYPOTHESIS_PROFILE=nightly)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if _NIGHTLY:
+        return
+    skip = pytest.mark.skip(reason="nightly-profile test (HYPOTHESIS_PROFILE=nightly)")
+    for item in items:
+        if "nightly" in item.keywords:
+            item.add_marker(skip)
+
 
 @pytest.fixture
 def rng():

@@ -168,7 +168,7 @@ class TestParallelRestarts:
         # parameters must win regardless of completion order.
         from repro.core.model import IFair, RestartRecord
 
-        def tied_run(self, objective, bounds, seed):
+        def tied_run(self, objective, bounds, seed, **kwargs):
             record = RestartRecord(
                 seed=seed, loss=1.0, n_iterations=1, converged=True
             )
@@ -185,6 +185,52 @@ class TestParallelRestarts:
     def test_n_jobs_exceeding_restarts_is_capped(self, data):
         model = _fit(data, n_restarts=2, n_jobs=16)
         assert len(model.restarts_) == 2
+
+
+class TestWarmStart:
+    def test_theta_roundtrip(self, data):
+        model = _fit(data)
+        np.testing.assert_array_equal(
+            model.theta_,
+            np.concatenate([model.prototypes_.ravel(), model.alpha_]),
+        )
+
+    def test_theta_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            IFair().theta_
+
+    def test_warm_start_wrong_size_rejected(self, data):
+        with pytest.raises(ValidationError):
+            _fit(data, warm_start_theta=np.ones(3))
+
+    def test_warm_start_resumes_first_restart(self, data):
+        cold = _fit(data, max_iter=60)
+        warm = _fit(data, max_iter=60, warm_start_theta=cold.theta_)
+        # Continuing from a converged point cannot do worse than the
+        # point itself; the remaining restarts still run from seeds.
+        assert warm.loss_ <= cold.loss_ + 1e-9
+
+    def test_warm_start_applies_under_every_backend(self, data):
+        cold = _fit(data, max_iter=40)
+        serial = _fit(data, max_iter=40, warm_start_theta=cold.theta_)
+        process = _fit(
+            data, max_iter=40, warm_start_theta=cold.theta_, n_jobs=2,
+            n_restarts=2,
+        )
+        reference = _fit(
+            data, max_iter=40, warm_start_theta=cold.theta_, n_restarts=2
+        )
+        np.testing.assert_array_equal(process.theta_, reference.theta_)
+        assert serial.loss_ <= cold.loss_ + 1e-9
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            IFair(backend="greenlet")
+
+    def test_get_params_rebuilds_equivalent_estimator(self, data):
+        model = _fit(data, n_restarts=2)
+        clone = IFair(**model.get_params()).fit(data, [4])
+        np.testing.assert_array_equal(model.theta_, clone.theta_)
 
 
 class TestTransform:

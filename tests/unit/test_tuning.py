@@ -1,9 +1,13 @@
 """Tests for repro.core.tuning."""
 
+import numpy as np
 import pytest
 
 from repro.core.tuning import (
+    CandidateResult,
     GridSearch,
+    GridSearchResult,
+    HalvingConfig,
     TuningCriterion,
     default_hyper_grid,
 )
@@ -80,6 +84,231 @@ class TestGridSearch:
         result.candidates.clear()
         with pytest.raises(ValidationError):
             result.best(TuningCriterion.OPTIMAL)
+
+
+class TestDeterministicTieBreak:
+    def _result(self, scores):
+        return GridSearchResult(
+            candidates=[
+                CandidateResult(params={"i": i}, utility=u, fairness=f, order=i)
+                for i, (u, f) in enumerate(scores)
+            ]
+        )
+
+    def test_equal_scores_break_by_utility(self):
+        # Under MAX_FAIRNESS both candidates score 0.5; the higher
+        # utility must win, not whichever max() saw first.
+        result = self._result([(0.2, 0.5), (0.6, 0.5)])
+        assert result.best(TuningCriterion.MAX_FAIRNESS).order == 1
+
+    def test_equal_scores_and_utility_break_by_grid_order(self):
+        result = self._result([(0.6, 0.5), (0.6, 0.5), (0.6, 0.5)])
+        assert result.best(TuningCriterion.MAX_FAIRNESS).order == 0
+
+    def test_tie_break_independent_of_candidate_list_order(self):
+        # Halving results hold a subset in rung order; selection must
+        # not depend on list position.
+        result = self._result([(0.6, 0.5), (0.2, 0.5), (0.6, 0.5)])
+        shuffled = GridSearchResult(candidates=result.candidates[::-1])
+        assert (
+            result.best(TuningCriterion.MAX_FAIRNESS).order
+            == shuffled.best(TuningCriterion.MAX_FAIRNESS).order
+            == 0
+        )
+
+    def test_nan_scores_sort_last(self):
+        result = self._result([(float("nan"), 0.9), (0.3, 0.1)])
+        assert result.best(TuningCriterion.MAX_UTILITY).order == 1
+
+
+class TestKeepArtifacts:
+    def test_artifacts_dropped_when_disabled(self):
+        grid = [{"x": 1}, {"x": 2}]
+        result = GridSearch(
+            lambda p: p["x"], lambda x: (x, 1.0), grid, keep_artifacts=False
+        ).run()
+        assert all(c.artifact is None for c in result.candidates)
+
+    def test_artifacts_kept_by_default(self):
+        grid = [{"x": 1}, {"x": 2}]
+        result = GridSearch(lambda p: p["x"], lambda x: (x, 1.0), grid).run()
+        assert [c.artifact for c in result.candidates] == [1, 2]
+
+    def test_refit_best_rebuilds_winner(self):
+        built = []
+
+        def build(params):
+            built.append(params["x"])
+            return params["x"] * 10
+
+        grid = [{"x": 1}, {"x": 2}]
+        result = GridSearch(
+            build, lambda x: (x, 1.0), grid, keep_artifacts=False
+        ).run()
+        assert result.refit_best(TuningCriterion.MAX_UTILITY) == 20
+        assert built == [1, 2, 2]
+
+    def test_refit_best_returns_kept_artifact_without_rebuild(self):
+        built = []
+
+        def build(params):
+            built.append(params["x"])
+            return params["x"] * 10
+
+        result = GridSearch(build, lambda x: (x, 1.0), [{"x": 3}]).run()
+        assert result.refit_best(TuningCriterion.OPTIMAL) == 30
+        assert built == [3]
+
+    def test_summarize_survives_dropped_artifact(self):
+        result = GridSearch(
+            lambda p: p["x"],
+            lambda x: (x, 1.0),
+            [{"x": 5}],
+            keep_artifacts=False,
+            summarize=lambda x: {"doubled": 2 * x},
+        ).run()
+        assert result.candidates[0].info == {"doubled": 10}
+
+
+def _budget_build(calls, params):
+    calls.append(dict(params))
+    quality = params["x"]
+    artifact = type("A", (), {})()
+    artifact.q = quality
+    artifact.theta_ = np.array([quality, params.get("max_iter", 0)], dtype=float)
+    return artifact
+
+
+class TestHalving:
+    GRID = [
+        {"x": i / 10.0, "max_iter": 8, "n_restarts": 2} for i in range(1, 9)
+    ]
+
+    # Fairness decorrelated from utility (a perfectly anticorrelated
+    # pair would put the whole grid on the Pareto front, and halving
+    # would rightly skip straight to the final rung).
+    EVALUATE = staticmethod(lambda a: (a.q, (a.q * 7.3) % 1.0))
+
+    def _run(self, **kwargs):
+        calls = []
+        search = GridSearch(
+            lambda p: _budget_build(calls, p),
+            self.EVALUATE,
+            self.GRID,
+            strategy="halving",
+            keep_artifacts=False,
+            **kwargs,
+        )
+        return search.run(), calls
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValidationError):
+            GridSearch(lambda p: p, lambda a: (0, 0), [{}], strategy="random")
+
+    def test_invalid_halving_config_rejected(self):
+        with pytest.raises(ValidationError):
+            HalvingConfig(n_rungs=0)
+        with pytest.raises(ValidationError):
+            HalvingConfig(promote_fraction=0.0)
+        with pytest.raises(ValidationError):
+            HalvingConfig(min_promote=0)
+
+    def test_early_rungs_shrink_budget_keys(self):
+        _, calls = self._run(halving=HalvingConfig(n_rungs=3, promote_fraction=0.25))
+        rung0 = calls[: len(self.GRID)]
+        assert all(c["max_iter"] == 2 and c["n_restarts"] == 1 for c in rung0)
+        final = calls[-1]
+        assert final["max_iter"] == 8 and final["n_restarts"] == 2
+
+    def test_final_rung_is_cold_and_verbatim(self):
+        result, calls = self._run(
+            halving=HalvingConfig(n_rungs=3, promote_fraction=0.25)
+        )
+        final_count = len(result.candidates)
+        for params in calls[-final_count:]:
+            assert "warm_start_theta" not in params
+            assert params in self.GRID
+
+    def test_intermediate_rungs_warm_start_from_theta(self):
+        _, calls = self._run(halving=HalvingConfig(n_rungs=3, promote_fraction=0.25))
+        rung1 = [c for c in calls[len(self.GRID) : -1] if "warm_start_theta" in c]
+        assert rung1, "second rung should warm-start survivors"
+        for params in rung1:
+            # theta recorded by the rung-0 build of the same candidate
+            assert params["warm_start_theta"][0] == params["x"]
+
+    def test_warm_start_disabled(self):
+        _, calls = self._run(
+            halving=HalvingConfig(n_rungs=3, promote_fraction=0.25, warm_start=False)
+        )
+        assert all("warm_start_theta" not in c for c in calls)
+
+    def test_history_and_fit_accounting(self):
+        result, calls = self._run(
+            halving=HalvingConfig(n_rungs=3, promote_fraction=0.25)
+        )
+        assert result.strategy == "halving"
+        assert result.n_fits == len(calls)
+        assert [h["rung"] for h in result.history] == list(range(len(result.history)))
+        assert result.history[-1]["budget_divisor"] == 1
+        for h in result.history[:-1]:
+            assert set(h["promoted"]) <= set(h["candidates"])
+
+    def test_agreement_with_exhaustive_on_budget_independent_scores(self):
+        # Scores ignore the budget, so every rung ranks candidates
+        # exactly as the full fit would: halving must select the same
+        # winner under all three criteria.
+        result, _ = self._run(halving=HalvingConfig(n_rungs=3, promote_fraction=0.25))
+        exhaustive = GridSearch(
+            lambda p: _budget_build([], p),
+            self.EVALUATE,
+            self.GRID,
+            keep_artifacts=False,
+        ).run()
+        for criterion in TuningCriterion:
+            assert (
+                result.best(criterion).order == exhaustive.best(criterion).order
+            )
+
+    def test_tiny_grid_falls_back_to_exhaustive(self):
+        calls = []
+        result = GridSearch(
+            lambda p: _budget_build(calls, p),
+            lambda a: (a.q, 1.0 - a.q),
+            self.GRID[:2],
+            strategy="halving",
+            keep_artifacts=False,
+        ).run()
+        assert result.strategy == "exhaustive"
+        assert len(calls) == 2
+
+
+class TestParallelGridSearch:
+    def test_n_jobs_matches_serial_run(self):
+        grid = [{"x": i, "max_iter": 4} for i in range(6)]
+
+        def build(params):
+            return params["x"] * 1.5
+
+        def evaluate(x):
+            return x, 10.0 - x
+
+        serial = GridSearch(build, evaluate, grid).run()
+        parallel = GridSearch(build, evaluate, grid, n_jobs=2).run()
+        assert [(c.utility, c.fairness, c.order) for c in serial.candidates] == [
+            (c.utility, c.fairness, c.order) for c in parallel.candidates
+        ]
+        for criterion in TuningCriterion:
+            assert (
+                serial.best(criterion).params == parallel.best(criterion).params
+            )
+
+    def test_thread_backend(self):
+        grid = [{"x": i} for i in range(4)]
+        result = GridSearch(
+            lambda p: p["x"], lambda x: (x, 1.0), grid, n_jobs=2, backend="thread"
+        ).run()
+        assert [c.utility for c in result.candidates] == [0.0, 1.0, 2.0, 3.0]
 
 
 class TestLandmarkGrid:
