@@ -13,11 +13,30 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py --quick
     PYTHONPATH=src python benchmarks/run_bench.py --label post-gemm \
         --out BENCH_core.json --tune-jobs 4
+    PYTHONPATH=src python benchmarks/run_bench.py --quick \
+        --compare BENCH_core.json --tolerance 3.0
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --scaling \
+        --label ci-scaling --out BENCH_ci.json
 
 ``--quick`` keeps the whole run in the seconds range (CI smoke);
 without it each timing uses more repeats for stabler numbers.
 ``--tune-jobs`` sets the parallel worker count of the tuning rows
 (default 4; CI uses 2 to match its runner).
+
+``--compare BASELINE.json`` is the CI perf-regression gate: after the
+run, every metric in :data:`GATE_LOWER_IS_BETTER` is compared against
+the most recent baseline entry carrying it, and the process exits
+non-zero when any is slower than ``(1 + tolerance) x`` the baseline
+(or a :data:`GATE_MUST_STAY_TRUE` flag flipped to false).  Gated
+metrics are restricted to shapes identical under ``--quick`` and full
+runs, so a CI smoke run can be held against the committed full-run
+trajectory.
+
+``--scaling`` replaces the full bench with the multi-core scaling
+measurement of ROADMAP residual (a): the quick tuning grid is run
+exhaustively at ``n_jobs=1`` and ``n_jobs=2`` and the measured
+speedup is appended as its own entry — observed scaling on the
+runner's real cores, not asserted scaling.
 """
 
 from __future__ import annotations
@@ -27,13 +46,14 @@ import itertools
 import json
 import os
 import platform
+import sys
 import time
 from functools import partial
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.executor import get_shared
+from repro.core.executor import get_shared, shutdown_session_pools
 from repro.core.model import IFair
 from repro.core.objective import IFairObjective
 from repro.core.tuning import GridSearch, HalvingConfig, TuningCriterion
@@ -172,18 +192,19 @@ def bench_fit(repeats: int) -> dict:
     rng = np.random.default_rng(2)
     X = rng.normal(size=(400, 20))
 
-    def fit(n_jobs=None, backend="process"):
-        IFair(
+    def fit(n_jobs=None, backend="process", pool="per-call"):
+        return IFair(
             n_prototypes=8,
             n_restarts=2,
             max_iter=30,
             max_pairs=5000,
             n_jobs=n_jobs,
             backend=backend,
+            pool=pool,
             random_state=0,
         ).fit(X, [19])
 
-    return {
+    timings = {
         "fit_M400_N20_K8_r2_s": _best_of(fit, repeats),
         # jobs2 restarts now fork real worker processes (PR 4); the
         # thread row keeps the old GIL-bound escape hatch measurable.
@@ -191,7 +212,19 @@ def bench_fit(repeats: int) -> dict:
         "fit_M400_N20_K8_r2_jobs2_thread_s": _best_of(
             lambda: fit(2, "thread"), repeats
         ),
+        # The session-pool row (ROADMAP residual (b)): _best_of's
+        # warm-up call primes the broker pool and publishes X into the
+        # arena cache, so every timed fit measures the warm path — no
+        # worker spawn, no re-broadcast.
+        "fit_M400_N20_K8_r2_jobs2_warm_s": _best_of(
+            lambda: fit(2, pool="session"), repeats
+        ),
     }
+    timings["fit_warm_pool_parity"] = bool(
+        np.array_equal(fit().theta_, fit(2, pool="session").theta_)
+    )
+    shutdown_session_pools()
+    return timings
 
 
 def bench_transform(repeats: int) -> dict:
@@ -267,20 +300,12 @@ def _tune_candidate_evaluate(spec: dict, model: IFair) -> tuple:
     return auc, ynn
 
 
-def bench_tuning(tune_jobs: int, quick: bool = False) -> dict:
-    """Wall-clock of the experiment tuning loop, four execution modes.
+def _tuning_setup(quick: bool):
+    """Grid, spec and shared arrays of the seeded tuning benchmark.
 
-    Serial exhaustive is the paper protocol baseline; ``jobs=J``
-    exhaustive isolates the process-pool scaling (≈ J x on a J-core
-    machine, ≈ 1 x on a single core — ``tuning_cpu_count`` records
-    which one this entry measured); halving isolates the algorithmic
-    cut (independent of cores); jobs+halving is the shipped
-    configuration and the headline ``tuning_speedup_parallel`` row.
-    Every mode must select the same candidate under all three criteria
-    — the ``halving_agree_*`` flags record it.
+    Quick mode (CI smoke) shrinks the dataset and grid; both shapes
+    are seeded configurations whose halving agreement is pinned.
     """
-    # Quick mode (CI smoke) shrinks the dataset and grid; both shapes
-    # are seeded configurations whose halving agreement is pinned.
     records = 250 if quick else TUNE_RECORDS
     prototypes = (4, 8) if quick else TUNE_PROTOTYPES
     max_iter = 48 if quick else TUNE_MAX_ITER
@@ -312,21 +337,43 @@ def bench_tuning(tune_jobs: int, quick: bool = False) -> dict:
         "train": split.train,
         "val": split.val,
     }
+    return grid, spec, shared
+
+
+def _run_tune_mode(grid, spec, shared, n_jobs, strategy, pool="per-call"):
+    """One timed GridSearch run over the benchmark problem."""
+    search = GridSearch(
+        partial(_tune_candidate_build, spec),
+        partial(_tune_candidate_evaluate, spec),
+        grid,
+        n_jobs=n_jobs,
+        strategy=strategy,
+        halving=TUNE_HALVING,
+        keep_artifacts=False,
+        shared=shared,
+        pool=pool,
+    )
+    start = time.perf_counter()
+    result = search.run()
+    return time.perf_counter() - start, result
+
+
+def bench_tuning(tune_jobs: int, quick: bool = False) -> dict:
+    """Wall-clock of the experiment tuning loop, four execution modes.
+
+    Serial exhaustive is the paper protocol baseline; ``jobs=J``
+    exhaustive isolates the process-pool scaling (≈ J x on a J-core
+    machine, ≈ 1 x on a single core — ``tuning_cpu_count`` records
+    which one this entry measured); halving isolates the algorithmic
+    cut (independent of cores); jobs+halving is the shipped
+    configuration and the headline ``tuning_speedup_parallel`` row.
+    Every mode must select the same candidate under all three criteria
+    — the ``halving_agree_*`` flags record it.
+    """
+    grid, spec, shared = _tuning_setup(quick)
 
     def run_mode(n_jobs, strategy):
-        search = GridSearch(
-            partial(_tune_candidate_build, spec),
-            partial(_tune_candidate_evaluate, spec),
-            grid,
-            n_jobs=n_jobs,
-            strategy=strategy,
-            halving=TUNE_HALVING,
-            keep_artifacts=False,
-            shared=shared,
-        )
-        start = time.perf_counter()
-        result = search.run()
-        return time.perf_counter() - start, result
+        return _run_tune_mode(grid, spec, shared, n_jobs, strategy)
 
     t_serial, r_serial = run_mode(None, "exhaustive")
     t_jobs, r_jobs = run_mode(tune_jobs, "exhaustive")
@@ -361,6 +408,109 @@ def bench_tuning(tune_jobs: int, quick: bool = False) -> dict:
     return timings
 
 
+def bench_tune_scaling(quick: bool = True, jobs: tuple = (1, 2)) -> dict:
+    """Measured multi-core tuning scaling (ROADMAP residual (a)).
+
+    Runs the exhaustive tuning grid at each worker count in ``jobs``
+    and records the observed speedups relative to the first entry —
+    on a multi-core runner this is the first *measured* (not asserted)
+    scaling row of the trajectory.  No assertion is made about the
+    value: on one core the expected speedup is ~1x (the executor's
+    deterministic decomposition adds ~no overhead), on J >= 2 cores it
+    should approach min(J, jobs).
+    """
+    grid, spec, shared = _tuning_setup(quick)
+    timings: dict = {
+        "scaling_grid_points": len(grid),
+        "tuning_cpu_count": os.cpu_count(),
+        "scaling_jobs": list(jobs),
+    }
+    reference = None
+    for n_jobs in jobs:
+        seconds, _ = _run_tune_mode(
+            grid, spec, shared, None if n_jobs == 1 else n_jobs, "exhaustive"
+        )
+        timings[f"scaling_jobs{n_jobs}_s"] = seconds
+        if reference is None:
+            reference = seconds
+        else:
+            timings[f"scaling_speedup_jobs{n_jobs}"] = reference / seconds
+    return timings
+
+
+# ----------------------------------------------------------------------
+# CI perf-regression gate
+
+#: Timing metrics (seconds, lower is better) whose problem shapes are
+#: identical under --quick and full runs, so a CI smoke entry can be
+#: gated against the committed full-run trajectory.  Deliberately
+#: excluded: landmark rows (M differs between quick and full) and the
+#: absolute tuning rows (records/grid/machine-core dependent).
+GATE_LOWER_IS_BETTER = (
+    "loss_and_grad_full_fast_s",
+    "loss_and_grad_sampled50k_fast_s",
+    "loss_and_grad_sampled50k_p3_s",
+    "fit_M400_N20_K8_r2_s",
+    "fit_M400_N20_K8_r2_jobs2_s",
+    "fit_M400_N20_K8_r2_jobs2_warm_s",
+    "transform_M2000_N40_K10_s",
+    "serving_transform_1rec_p50_s",
+    "serving_transform_1rec_p99_s",
+)
+
+#: Correctness flags that must never flip to false once recorded true
+#: (selection agreement across execution modes, warm-pool parity).
+GATE_MUST_STAY_TRUE = (
+    "halving_agree_max_utility",
+    "halving_agree_max_fairness",
+    "halving_agree_optimal",
+    "jobs_agree_max_utility",
+    "jobs_agree_max_fairness",
+    "jobs_agree_optimal",
+    "fit_warm_pool_parity",
+)
+
+
+def baseline_value(doc: dict, key: str):
+    """Most recent baseline entry carrying ``key`` (None if absent)."""
+    for entry in reversed(doc.get("entries", [])):
+        if key in entry:
+            return entry[key]
+    return None
+
+
+def compare_to_baseline(entry: dict, doc: dict, tolerance: float) -> list:
+    """Gate ``entry`` against a trajectory; returns violation strings.
+
+    A timing metric fails when it exceeds ``(1 + tolerance)`` times
+    its baseline (tolerance absorbs machine differences between the
+    committed trajectory and the CI runner — order-of-magnitude
+    regressions still trip it); a flag fails when the baseline was
+    true and the entry is false.  Metrics missing on either side are
+    skipped: the gate compares, it does not enforce coverage.
+    """
+    if tolerance < 0:
+        raise ValidationError("tolerance must be non-negative")
+    violations = []
+    for key in GATE_LOWER_IS_BETTER:
+        base = baseline_value(doc, key)
+        current = entry.get(key)
+        if base is None or current is None or base <= 0:
+            continue
+        ratio = current / base
+        if ratio > 1.0 + tolerance:
+            violations.append(
+                f"{key}: {current:.6g}s is {ratio:.2f}x baseline "
+                f"{base:.6g}s (allowed {1.0 + tolerance:.2f}x)"
+            )
+    for key in GATE_MUST_STAY_TRUE:
+        base = baseline_value(doc, key)
+        current = entry.get(key)
+        if base is True and current is False:
+            violations.append(f"{key}: flipped to false (baseline true)")
+    return violations
+
+
 def run(label: str, quick: bool, tune_jobs: int) -> dict:
     repeats = 3 if quick else 10
     entry = {
@@ -373,7 +523,9 @@ def run(label: str, quick: bool, tune_jobs: int) -> dict:
     }
     entry.update(bench_loss_and_grad(repeats))
     entry.update(bench_landmark(repeats, quick))
-    entry.update(bench_fit(max(2, repeats // 2)))
+    # Fit rows carry the warm-pool acceptance claim; give them the
+    # full repeat budget (each is only tens of milliseconds).
+    entry.update(bench_fit(repeats))
     entry.update(bench_transform(repeats))
     entry.update(bench_serving(repeats))
     entry.update(bench_tuning(tune_jobs, quick=quick))
@@ -393,9 +545,60 @@ def main() -> None:
         default=4,
         help="worker count of the parallel tuning rows (default 4)",
     )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help=(
+            "only measure tuning wall-clock at n_jobs=1 vs n_jobs=2 "
+            "and append the observed multi-core scaling entry"
+        ),
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        default=None,
+        help=(
+            "perf-regression gate: compare this run's entry against "
+            "the trajectory in BASELINE.json and exit non-zero on a "
+            "regression beyond --tolerance"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help=(
+            "allowed slowdown fraction for --compare (0.5 = 1.5x the "
+            "baseline; CI uses a larger value to absorb runner-vs-"
+            "baseline machine differences)"
+        ),
+    )
     args = parser.parse_args()
 
-    entry = run(args.label, args.quick, args.tune_jobs)
+    # Snapshot the baseline BEFORE running/appending: with --out and
+    # --compare naming the same trajectory (the documented local
+    # usage), gating after the write would compare the new entry
+    # against itself and pass vacuously.  Reading first also fails
+    # fast on a missing baseline instead of after minutes of bench.
+    baseline_doc = None
+    if args.compare is not None:
+        baseline_path = Path(args.compare)
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            raise SystemExit(2)
+        baseline_doc = json.loads(baseline_path.read_text())
+
+    if args.scaling:
+        entry = {
+            "label": args.label,
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        }
+        entry.update(bench_tune_scaling(args.quick))
+    else:
+        entry = run(args.label, args.quick, args.tune_jobs)
     path = Path(args.out)
     if path.exists():
         doc = json.loads(path.read_text())
@@ -405,6 +608,31 @@ def main() -> None:
     path.write_text(json.dumps(doc, indent=2) + "\n")
 
     print(f"wrote {path} ({len(doc['entries'])} entries)")
+    if args.scaling:
+        jobs = entry["scaling_jobs"]
+        speedups = ", ".join(
+            f"jobs{j} {entry[f'scaling_jobs{j}_s']:.2f} s"
+            + (
+                f" ({entry[f'scaling_speedup_jobs{j}']:.2f}x)"
+                if f"scaling_speedup_jobs{j}" in entry
+                else ""
+            )
+            for j in jobs
+        )
+        print(
+            f"tuning scaling ({entry['scaling_grid_points']}-point grid, "
+            f"{entry['tuning_cpu_count']} cpus): {speedups}"
+        )
+        _gate_and_exit(args, entry, baseline_doc)
+        return
+    _print_summary(entry)
+    _gate_and_exit(args, entry, baseline_doc)
+
+
+def _print_summary(entry: dict) -> None:
+    """Human-readable digest of one full bench entry."""
+    if "loss_and_grad_full_fast_s" not in entry:
+        return  # partial entry (e.g. a stubbed run in tests)
     print(
         "loss_and_grad full: fast "
         f"{entry['loss_and_grad_full_fast_s'] * 1e3:.2f} ms, reference "
@@ -426,6 +654,13 @@ def main() -> None:
         f"p=3 L=128 {entry['loss_and_grad_landmark128_p3_s'] * 1e3:.2f} ms; "
         "reference full-pair skipped (O(M^2) target)"
     )
+    print(
+        "fit M400 jobs2: cold pool "
+        f"{entry['fit_M400_N20_K8_r2_jobs2_s'] * 1e3:.1f} ms, warm session "
+        f"pool {entry['fit_M400_N20_K8_r2_jobs2_warm_s'] * 1e3:.1f} ms "
+        f"(serial {entry['fit_M400_N20_K8_r2_s'] * 1e3:.1f} ms), parity "
+        f"{'OK' if entry['fit_warm_pool_parity'] else 'BROKEN'}"
+    )
     jobs = entry["tuning_jobs"]
     agree = all(
         entry[f"halving_agree_{c.value}"] and entry[f"jobs_agree_{c.value}"]
@@ -445,6 +680,31 @@ def main() -> None:
         f"{entry['tuning_speedup_parallel']:.2f}x, selection agreement "
         f"{'OK' if agree else 'BROKEN'} under all three criteria"
     )
+
+
+def _gate_and_exit(args, entry: dict, baseline_doc) -> None:
+    """Apply the --compare regression gate; exits non-zero on failure.
+
+    ``baseline_doc`` was loaded before this run's entry was appended,
+    so the gate never compares an entry against itself.
+    """
+    if baseline_doc is None:
+        return
+    violations = compare_to_baseline(entry, baseline_doc, args.tolerance)
+    if not violations:
+        print(
+            f"perf gate vs {args.compare}: OK "
+            f"(tolerance {args.tolerance:.2f})"
+        )
+        return
+    print(
+        f"perf gate vs {args.compare}: {len(violations)} regression(s) "
+        f"beyond tolerance {args.tolerance:.2f}:",
+        file=sys.stderr,
+    )
+    for violation in violations:
+        print(f"  - {violation}", file=sys.stderr)
+    raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -206,6 +206,26 @@ def _add_tuning_flags(parser: argparse.ArgumentParser) -> None:
         default="exhaustive",
         help="grid-search strategy (default exhaustive)",
     )
+    parser.add_argument(
+        "--tune-promote",
+        choices=("rank", "extrapolate"),
+        default="rank",
+        help=(
+            "halving rung promotion: observed-score rank or "
+            "learning-curve extrapolation (default rank)"
+        ),
+    )
+    parser.add_argument(
+        "--pool",
+        choices=("per-call", "session"),
+        default="per-call",
+        help=(
+            "worker-pool lifetime: per-call spawns and tears down a "
+            "pool per parallel section, session reuses one process-"
+            "wide warm pool plus the shared-memory arena cache "
+            "(default per-call)"
+        ),
+    )
 
 
 def _check_pair_mode_args(args) -> None:
@@ -232,11 +252,18 @@ def _config(args) -> ExperimentConfig:
             n_landmarks=args.landmarks,
             landmark_method=args.landmark_method,
         )
-    if args.tune_jobs is not None or args.tune_strategy != "exhaustive":
+    if (
+        args.tune_jobs is not None
+        or args.tune_strategy != "exhaustive"
+        or args.tune_promote != "rank"
+        or args.pool != "per-call"
+    ):
         config = replace(
             config,
             tune_jobs=args.tune_jobs,
             tune_strategy=args.tune_strategy,
+            tune_promote=args.tune_promote,
+            tune_pool=args.pool,
         )
     return config
 
@@ -278,10 +305,12 @@ def _cmd_fit_save(args) -> int:
         n_landmarks=args.landmarks,
         landmark_method=args.landmark_method,
         n_jobs=args.fit_jobs,
+        pool=args.pool,
         tune=args.tune,
         tune_criterion=args.tune_criterion,
         tune_jobs=args.tune_jobs,
         tune_strategy=args.tune_strategy,
+        tune_promote=args.tune_promote,
         random_state=args.seed,
     )
     path = save_artifact(args.out, artifact)

@@ -171,6 +171,14 @@ class IFairObjective:
         ``False`` forces the reference einsum implementation; generic
         ``p`` always uses the reference path (row-blocked in landmark
         mode).
+    precompute:
+        ``True`` (default) builds the oracle's support structures
+        (pair subsample, landmark selection, moment statistics) at
+        construction.  ``False`` defers them until the first loss
+        evaluation: every parameter is still validated eagerly, so a
+        parent process can construct-and-validate the oracle cheaply
+        while worker processes (which rebuild it from the same inputs,
+        or reuse a cached one) do the actual computing.
     """
 
     DEFAULT_LANDMARKS = 128
@@ -191,6 +199,7 @@ class IFairObjective:
         landmarks=None,
         random_state: RandomStateLike = 0,
         fast_kernels: bool = True,
+        precompute: bool = True,
     ):
         self.X = check_matrix(X, "X")
         m, n = self.X.shape
@@ -239,20 +248,99 @@ class IFairObjective:
         # Snapshot the path decision: the fast-path support structures
         # below exist only when it is taken at construction time.
         self._use_fast = self.fast_kernels and self.p == 2.0
-        # X is fixed for the objective's lifetime, so its elementwise
-        # square (used by the GEMM forward and grad_alpha) is computed
-        # once.  Workspace buffers are thread-local, so one objective
-        # can serve parallel restarts.
-        self._X_sq = self.X * self.X if self._use_fast else None
         self._ws = kernels.Workspace()
 
-        X_star = self.X[:, self.nonprotected]
+        # Remaining validation stays eager even when the (possibly
+        # expensive) support structures are deferred — a bad parameter
+        # must raise here, in the constructing process, not inside a
+        # worker.
+        explicit_landmarks = None
+        resolved_landmarks = None
+        if pair_mode == "sampled":
+            if max_pairs < 1:
+                raise ValidationError("max_pairs must be positive")
+        elif pair_mode == "landmark":
+            if landmarks is not None:
+                explicit_landmarks = np.asarray(landmarks, dtype=np.int64).ravel()
+                if explicit_landmarks.size != np.unique(explicit_landmarks).size:
+                    raise ValidationError("landmark indices must be distinct")
+                if (
+                    explicit_landmarks.size < 1
+                    or explicit_landmarks.min() < 0
+                    or explicit_landmarks.max() >= m
+                ):
+                    raise ValidationError("landmark indices out of range")
+            else:
+                resolved_landmarks = (
+                    min(m, self.DEFAULT_LANDMARKS)
+                    if n_landmarks is None
+                    else int(n_landmarks)
+                )
+                if resolved_landmarks < 1:
+                    raise ValidationError("n_landmarks must be at least 1")
+                resolved_landmarks = min(resolved_landmarks, m)
+        self._precompute_args = (
+            max_pairs,
+            explicit_landmarks,
+            resolved_landmarks,
+            random_state,
+        )
+
+        self._X_sq: Optional[np.ndarray] = None
         self._fair_full: Optional[kernels.FullPairFairness] = None
         self._pair_scatter: Optional[kernels.PairScatter] = None
         self._fair_landmark: Optional[kernels.LandmarkFairness] = None
         self._pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._d_star = None
-        if pair_mode == "full":
+        self._anchor_cache: Optional[np.ndarray] = None
+        self._ready = False
+        if precompute:
+            self.ensure_ready()
+
+    def _anchor_indices(self) -> np.ndarray:
+        """Sorted anchor row indices of landmark mode (cached).
+
+        Much cheaper than :meth:`ensure_ready`: only the anchor
+        *selection* runs, not the fairness-kernel precompute — the
+        parent of a process-parallel fit needs the indices (for
+        ``IFair.landmarks_``) but never evaluates the loss.
+        """
+        if self._anchor_cache is None:
+            _, explicit_landmarks, n_land, random_state = self._precompute_args
+            if explicit_landmarks is not None:
+                idx = explicit_landmarks
+            else:
+                idx = select_landmarks(
+                    self.X[:, self.nonprotected],
+                    n_land,
+                    method=self.landmark_method,
+                    random_state=random_state,
+                )
+            self._anchor_cache = np.sort(np.asarray(idx, dtype=np.int64))
+        return self._anchor_cache
+
+    def ensure_ready(self) -> None:
+        """Build the oracle support structures (idempotent).
+
+        Called automatically by every compute path, so a deferred
+        objective (``precompute=False``) pays the cost on first use —
+        or never, when a parent constructs it only for validation and
+        shape bookkeeping while workers evaluate their own copies.
+        A failed build leaves the objective un-ready, so a retry
+        re-raises the real cause instead of dereferencing
+        half-initialised structures.
+        """
+        if self._ready:
+            return
+        m = self.X.shape[0]
+        max_pairs, explicit_landmarks, n_land, random_state = self._precompute_args
+        # X is fixed for the objective's lifetime, so its elementwise
+        # square (used by the GEMM forward and grad_alpha) is computed
+        # once.  Workspace buffers are thread-local, so one objective
+        # can serve parallel restarts.
+        self._X_sq = self.X * self.X if self._use_fast else None
+        X_star = self.X[:, self.nonprotected]
+        if self.pair_mode == "full":
             if self._use_fast:
                 # Moment form needs only O(M + N^2) precomputed X*
                 # statistics — the dense (M, M) target matrix is a
@@ -260,9 +348,7 @@ class IFairObjective:
                 self._fair_full = kernels.FullPairFairness(X_star)
             else:
                 self._d_star = pairwise_sq_euclidean(X_star)
-        elif pair_mode == "sampled":
-            if max_pairs < 1:
-                raise ValidationError("max_pairs must be positive")
+        elif self.pair_mode == "sampled":
             rng = check_random_state(random_state)
             total = m * (m - 1) // 2
             n_pairs = min(int(max_pairs), total)
@@ -275,32 +361,13 @@ class IFairObjective:
             if self._use_fast:
                 self._pair_scatter = kernels.PairScatter(ii, jj, m)
         else:  # landmark
-            if landmarks is not None:
-                idx = np.asarray(landmarks, dtype=np.int64).ravel()
-                if idx.size != np.unique(idx).size:
-                    raise ValidationError("landmark indices must be distinct")
-                if idx.size < 1 or idx.min() < 0 or idx.max() >= m:
-                    raise ValidationError("landmark indices out of range")
-            else:
-                n_land = (
-                    min(m, self.DEFAULT_LANDMARKS)
-                    if n_landmarks is None
-                    else int(n_landmarks)
-                )
-                if n_land < 1:
-                    raise ValidationError("n_landmarks must be at least 1")
-                n_land = min(n_land, m)
-                idx = select_landmarks(
-                    X_star,
-                    n_land,
-                    method=landmark_method,
-                    random_state=random_state,
-                )
+            idx = self._anchor_indices()
             # Scale M/L makes the landmark sum estimate the full
             # ordered-pair sum, so mu_fair transfers across modes.
             self._fair_landmark = kernels.LandmarkFairness(
                 X_star, idx, scale=m / idx.size
             )
+        self._ready = True
 
     # ------------------------------------------------------------------
     # Parameter packing
@@ -327,22 +394,23 @@ class IFairObjective:
         """
         m = self.X.shape[0]
         if self.pair_mode == "sampled":
+            self.ensure_ready()
             return int(self._pairs[0].size)
         return m * m
 
     @property
     def n_landmarks(self) -> Optional[int]:
         """Anchor count L in landmark mode, else ``None``."""
-        if self._fair_landmark is None:
+        if self.pair_mode != "landmark":
             return None
-        return self._fair_landmark.n_landmarks
+        return int(self._anchor_indices().size)
 
     @property
     def landmark_indices(self) -> Optional[np.ndarray]:
         """Sorted anchor row indices in landmark mode, else ``None``."""
-        if self._fair_landmark is None:
+        if self.pair_mode != "landmark":
             return None
-        return self._fair_landmark.anchor_idx
+        return self._anchor_indices()
 
     def pack(self, V: np.ndarray, alpha: np.ndarray) -> np.ndarray:
         """Concatenate prototypes and weights into one flat vector."""
@@ -379,6 +447,7 @@ class IFairObjective:
         fast path — copy it before the next oracle call if it must
         survive.
         """
+        self.ensure_ready()
         if self._use_fast:
             m, k = self.X.shape[0], V.shape[0]
             return kernels.weighted_sq_dists_gemm(
@@ -451,6 +520,7 @@ class IFairObjective:
         routes the non-GEMM case through the row-blocked kernels so no
         ``(M, K, N)`` tensor is built at any ``p``.
         """
+        self.ensure_ready()
         if self._use_fast:
             return self._loss_and_grad_fast(theta)
         if self.pair_mode == "landmark":

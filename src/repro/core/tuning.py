@@ -27,6 +27,21 @@ the protocol fast at scale:
   exact original budgets — so the selected candidate is the same one
   exhaustive search picks whenever its winner survives the early
   rungs (pinned on seeded data by the property suite).
+
+Two further knobs refine those:
+
+* ``pool="session"`` borrows the persistent broker worker pool
+  (:class:`repro.core.executor.PoolBroker`) instead of spawning a
+  fresh one, and routes the ``shared`` broadcast through the shm
+  arena cache — back-to-back searches and refits skip the spawn and
+  re-broadcast cost, with bitwise-identical results.
+* ``HalvingConfig(promote="extrapolate")`` replaces rank-based rung
+  promotion with a learning-curve extrapolation: each candidate's
+  scores over the rung budgets are fit with a saturating curve and
+  the rung promotes on the *predicted full-budget* score, so a slow
+  starter with the higher asymptote survives rungs that pure ranking
+  would eliminate it from.  The Pareto-front protection of the rank
+  promoter is kept.
 """
 
 from __future__ import annotations
@@ -39,7 +54,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.executor import ParallelExecutor, effective_n_jobs, get_state
+from repro.core.executor import (
+    POOL_MODES,
+    ParallelExecutor,
+    effective_n_jobs,
+    get_state,
+)
 from repro.core.pareto import pareto_front
 from repro.exceptions import ValidationError
 from repro.utils.mathkit import harmonic_mean
@@ -51,6 +71,7 @@ PROTOTYPE_GRID: Tuple[int, ...] = (10, 20, 30)
 LANDMARK_GRID: Tuple[int, ...] = (32, 64, 128)
 
 TUNING_STRATEGIES = ("exhaustive", "halving")
+PROMOTE_MODES = ("rank", "extrapolate")
 
 
 class TuningCriterion(enum.Enum):
@@ -135,14 +156,16 @@ def _selection_key(
     last.
     """
 
-    def _finite(value: float) -> float:
-        return -math.inf if value != value else value
-
     return (
-        _finite(candidate.score(criterion)),
-        _finite(candidate.utility),
+        _finite_or_neg_inf(candidate.score(criterion)),
+        _finite_or_neg_inf(candidate.utility),
         -candidate.order,
     )
+
+
+def _finite_or_neg_inf(value: float) -> float:
+    """NaN-safe sort key component (NaN sorts last)."""
+    return -math.inf if value != value else value
 
 
 @dataclass
@@ -220,12 +243,24 @@ class HalvingConfig:
         always fitted cold at the original parameters, which makes its
         fits — and therefore the selected candidate — identical to the
         exhaustive run's whenever the winner survives.
+    promote:
+        ``"rank"`` (default) promotes each rung's top slice by the
+        *observed* low-budget scores; ``"extrapolate"`` fits a
+        saturating learning curve ``s(b) = a + c / b`` over the rung
+        budget fractions seen so far and promotes by the *predicted*
+        score at the full budget (``b = 1``) — robust to candidates
+        whose curves cross, i.e. slow starters with higher asymptotes
+        that rank promotion eliminates early.  Rungs with a single
+        observation (always rung 0) degrade to rank promotion, and
+        both modes keep the (utility, fairness) Pareto-front
+        protection.
     """
 
     n_rungs: int = 3
     promote_fraction: float = 1.0 / 3.0
     min_promote: int = 2
     warm_start: bool = True
+    promote: str = "rank"
 
     def __post_init__(self):
         if self.n_rungs < 1:
@@ -234,6 +269,39 @@ class HalvingConfig:
             raise ValidationError("promote_fraction must lie in (0, 1]")
         if self.min_promote < 1:
             raise ValidationError("min_promote must be at least 1")
+        if self.promote not in PROMOTE_MODES:
+            raise ValidationError(
+                f"promote must be one of {PROMOTE_MODES}, got {self.promote!r}"
+            )
+
+
+def predict_full_budget(observations: Sequence[Tuple[float, float]]) -> float:
+    """Extrapolate a candidate's score to the full training budget.
+
+    ``observations`` are ``(budget_fraction, score)`` pairs from the
+    halving rungs (fractions in ``(0, 1]``).  A least-squares fit of
+    the saturating model ``s(b) = a + c / b`` — linear in ``1/b``, so
+    two points determine it exactly and more points regress it —
+    yields the prediction ``s(1) = a + c``.  With fewer than two
+    finite observations (or a degenerate fit) the latest observed
+    score is returned, which makes extrapolation promotion collapse
+    to rank promotion exactly when there is no curve to fit.
+    """
+    finite = [
+        (b, s) for b, s in observations if math.isfinite(s) and b > 0.0
+    ]
+    if not finite:
+        return float("nan")
+    if len({b for b, _ in finite}) < 2:
+        return finite[-1][1]
+    budgets = np.array([b for b, _ in finite], dtype=np.float64)
+    scores = np.array([s for _, s in finite], dtype=np.float64)
+    design = np.stack([np.ones_like(budgets), 1.0 / budgets], axis=1)
+    coef, *_ = np.linalg.lstsq(design, scores, rcond=None)
+    predicted = float(coef[0] + coef[1])
+    if not math.isfinite(predicted):  # pragma: no cover - defensive
+        return finite[-1][1]
+    return predicted
 
 
 def _default_theta_of(artifact: object) -> Optional[np.ndarray]:
@@ -312,6 +380,12 @@ class GridSearch:
         Mapping of name -> ndarray broadcast zero-copy to worker
         processes; builds read it via
         :func:`repro.core.executor.get_shared`.
+    pool:
+        ``"per-call"`` (default) spawns a private worker pool for this
+        search; ``"session"`` borrows the persistent broker pool and
+        the shm arena cache, so consecutive searches (and the refit
+        that follows) skip the spawn and re-broadcast cost.  Selected
+        candidates, scores and thetas are identical either way.
     """
 
     def __init__(
@@ -328,10 +402,15 @@ class GridSearch:
         summarize: Optional[Callable[[object], Dict]] = None,
         theta_of: Optional[Callable[[object], Optional[np.ndarray]]] = _default_theta_of,
         shared: Optional[Dict[str, np.ndarray]] = None,
+        pool: str = "per-call",
     ):
         if strategy not in TUNING_STRATEGIES:
             raise ValidationError(
                 f"strategy must be one of {TUNING_STRATEGIES}, got {strategy!r}"
+            )
+        if pool not in POOL_MODES:
+            raise ValidationError(
+                f"pool must be one of {POOL_MODES}, got {pool!r}"
             )
         self.build = build
         self.evaluate = evaluate
@@ -346,6 +425,7 @@ class GridSearch:
         self.summarize = summarize
         self.theta_of = theta_of
         self.shared = shared
+        self.pool = pool
 
     # ------------------------------------------------------------------
 
@@ -364,6 +444,7 @@ class GridSearch:
             backend=self.backend,
             state=state,
             shared=self.shared,
+            pool=self.pool,
         ) as executor:
             if (
                 self.strategy == "halving"
@@ -400,6 +481,7 @@ class GridSearch:
             None,
             state=state,
             shared=self.shared,
+            pool=self.pool,
         ) as executor:
             return executor.map([dict(params)])[0]
 
@@ -476,7 +558,11 @@ class GridSearch:
             params["warm_start_theta"] = theta
         return params
 
-    def _promote(self, candidates: List[CandidateResult]) -> List[int]:
+    def _promote(
+        self,
+        candidates: List[CandidateResult],
+        curves: Optional[Dict[int, List[Tuple[float, CandidateResult]]]] = None,
+    ) -> List[int]:
         """Orders surviving a rung.
 
         Union of (a) the top ``promote_fraction`` slice under *each*
@@ -489,18 +575,35 @@ class GridSearch:
         not who dominates whom).  Promoting the front is what makes
         halving agree with exhaustive search on the seeded benchmark
         configs under all three criteria.
+
+        Under ``promote="extrapolate"`` the per-criterion ranking uses
+        the *predicted full-budget* score from each candidate's rung
+        learning curve (``curves``) instead of the observed low-budget
+        score; the front protection is unchanged (it operates on the
+        observed ordering, which extrapolation would only amplify).
         """
         count = max(
             self.halving.min_promote,
             int(math.ceil(self.halving.promote_fraction * len(candidates))),
         )
+        extrapolate = self.halving.promote == "extrapolate" and curves is not None
         survivors: set = set()
         for criterion in TuningCriterion:
-            ranked = sorted(
-                candidates,
-                key=lambda c: _selection_key(c, criterion),
-                reverse=True,
-            )
+            if extrapolate:
+                predicted = {
+                    c.order: predict_full_budget(
+                        [(b, cand.score(criterion)) for b, cand in curves[c.order]]
+                    )
+                    for c in candidates
+                }
+                key = lambda c: (  # noqa: E731 - mirrors _selection_key
+                    _finite_or_neg_inf(predicted[c.order]),
+                    _finite_or_neg_inf(c.utility),
+                    -c.order,
+                )
+            else:
+                key = lambda c: _selection_key(c, criterion)  # noqa: E731
+            ranked = sorted(candidates, key=key, reverse=True)
             survivors.update(c.order for c in ranked[:count])
         points = [[c.utility, c.fairness] for c in candidates]
         if np.all(np.isfinite(points)):
@@ -512,6 +615,17 @@ class GridSearch:
         alive = list(range(len(self.grid)))
         thetas: Dict[int, np.ndarray] = {}
         history: List[Dict] = []
+        # Per-candidate (budget_fraction, result) observations across
+        # rungs — the learning curves promote="extrapolate" fits.  A
+        # warm-started rung *resumes* the previous fit, so its score
+        # reflects the cumulative iterations spent on that candidate,
+        # not the rung's own slice; recording the raw slice would make
+        # every curve look steeper than it is and systematically
+        # inflate predicted asymptotes.
+        curves: Dict[int, List[Tuple[float, CandidateResult]]] = {
+            order: [] for order in alive
+        }
+        spent: Dict[int, float] = {}
         n_fits = 0
         candidates: List[CandidateResult] = []
         for rung in range(config.n_rungs - 1):
@@ -522,13 +636,32 @@ class GridSearch:
                 executor, points, keep=False, summarize=False
             )
             n_fits += len(points)
-            promoted = self._promote(candidates)
+            fraction = 1.0 / self._rung_budget(rung)
+            for candidate in candidates:
+                # Same predicate _rung_params used when building this
+                # rung: a candidate resumed from its previous theta
+                # has spent its earlier rungs' budget too.
+                warm_started = (
+                    config.warm_start and thetas.get(candidate.order) is not None
+                )
+                budget = fraction + (
+                    spent.get(candidate.order, 0.0) if warm_started else 0.0
+                )
+                spent[candidate.order] = budget
+                curves[candidate.order].append((budget, candidate))
+            promoted = self._promote(candidates, curves)
             history.append(
                 {
                     "rung": rung,
                     "budget_divisor": self._rung_budget(rung),
                     "candidates": list(alive),
                     "promoted": promoted,
+                    # Cumulative-when-warm-started fraction each
+                    # candidate's score corresponds to (the x-axis of
+                    # the extrapolation curves).
+                    "budget_fraction_spent": {
+                        order: spent[order] for order in alive
+                    },
                 }
             )
             thetas = {c.order: c.theta for c in candidates if c.theta is not None}

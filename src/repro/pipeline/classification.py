@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.executor import get_shared
 from repro.core.pareto import pareto_front
-from repro.core.tuning import GridSearch, TuningCriterion
+from repro.core.tuning import GridSearch, HalvingConfig, TuningCriterion
 from repro.data.schema import TabularDataset
 from repro.data.splits import Split, stratified_split
 from repro.exceptions import ValidationError
@@ -295,9 +295,11 @@ def run_classification(
             method_candidates(name, config),
             n_jobs=config.tune_jobs,
             strategy=config.tune_strategy,
+            halving=HalvingConfig(promote=config.tune_promote),
             keep_artifacts=False,
             summarize=_candidate_summarize,
             shared=shared,
+            pool=config.tune_pool,
         )
         for candidate in search.run().candidates:
             report.candidates.append(

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.baselines.fair_ranking import FairRanker
-from repro.core.tuning import GridSearch, TuningCriterion
+from repro.core.tuning import GridSearch, HalvingConfig, TuningCriterion
 from repro.data.schema import TabularDataset
 from repro.data.splits import train_val_test_split
 from repro.data.xing import DEFAULT_WEIGHTS, compute_scores
@@ -252,9 +252,11 @@ def run_ranking(
             method_candidates(name, config),
             n_jobs=config.tune_jobs,
             strategy=config.tune_strategy,
+            halving=HalvingConfig(promote=config.tune_promote),
             keep_artifacts=False,
             summarize=_ranking_summary,
             theta_of=None,
+            pool=config.tune_pool,
         )
         best = search.run().best(TuningCriterion.OPTIMAL)
         report.rows.append(

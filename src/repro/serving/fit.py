@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.executor import get_shared
 from repro.core.model import IFair
-from repro.core.tuning import GridSearch, TuningCriterion
+from repro.core.tuning import GridSearch, HalvingConfig, TuningCriterion
 from repro.data.schema import TabularDataset
 from repro.data.splits import stratified_split
 from repro.exceptions import ValidationError
@@ -87,6 +87,8 @@ def _tune_mixtures(
     tune_criterion: str,
     tune_jobs: Optional[int],
     tune_strategy: str,
+    tune_promote: str,
+    pool: str,
     random_state: int,
 ) -> Dict:
     """Select (lambda_util, mu_fair) on a held-out validation split."""
@@ -114,7 +116,9 @@ def _tune_mixtures(
         grid,
         n_jobs=tune_jobs,
         strategy=tune_strategy,
+        halving=HalvingConfig(promote=tune_promote),
         keep_artifacts=False,
+        pool=pool,
         shared={
             "X": X,
             "y": y,
@@ -143,10 +147,12 @@ def fit_serving_pipeline(
     scorer_l2: float = 1.0,
     n_jobs: Optional[int] = None,
     backend: str = "process",
+    pool: str = "per-call",
     tune: bool = False,
     tune_criterion: str = "optimal",
     tune_jobs: Optional[int] = None,
     tune_strategy: str = "exhaustive",
+    tune_promote: str = "rank",
     random_state: int = 0,
 ) -> ServingArtifact:
     """Fit scaler + iFair + scorer (+ thresholds) on ``dataset``.
@@ -161,7 +167,12 @@ def fit_serving_pipeline(
     ``n_jobs``/``backend`` parallelise the fit's restarts; ``tune``
     grid-searches the mixture coefficients first (see module
     docstring), overriding ``lambda_util``/``mu_fair`` with the
-    winner before the final full-data fit.
+    winner before the final full-data fit.  ``pool="session"`` runs
+    both the search and the final fit on the persistent broker pool:
+    the refit reuses the already-broadcast matrix through the shm
+    arena cache instead of re-publishing it, with the same results as
+    ``"per-call"``.  ``tune_promote="extrapolate"`` switches halving
+    rung promotion to learning-curve extrapolation.
     """
     if dataset.n_records < 10:
         raise ValidationError("serving pipeline needs at least 10 records")
@@ -187,6 +198,7 @@ def fit_serving_pipeline(
         "landmark_method": landmark_method,
         "n_jobs": n_jobs,
         "backend": backend,
+        "pool": pool,
         "random_state": random_state,
     }
     tuned_params: Optional[Dict] = None
@@ -200,6 +212,8 @@ def fit_serving_pipeline(
             tune_criterion=tune_criterion,
             tune_jobs=tune_jobs,
             tune_strategy=tune_strategy,
+            tune_promote=tune_promote,
+            pool=pool,
             random_state=random_state,
         )
         model_params.update(tuned_params)

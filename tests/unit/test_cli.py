@@ -210,3 +210,60 @@ class TestPairModeFlags:
             ["fit-save", "credit", "--out", str(tmp_path / "a"), "--landmarks", "8"]
         )
         assert code == 1
+
+
+class TestPoolFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "table2"])
+        assert args.pool == "per-call"
+        assert args.tune_promote == "rank"
+
+    def test_run_session_pool_reaches_the_config(self):
+        from repro.cli import _config
+
+        args = build_parser().parse_args(
+            [
+                "run",
+                "table2",
+                "--pool",
+                "session",
+                "--tune-strategy",
+                "halving",
+                "--tune-promote",
+                "extrapolate",
+            ]
+        )
+        config = _config(args)
+        assert config.tune_pool == "session"
+        assert config.tune_strategy == "halving"
+        assert config.tune_promote == "extrapolate"
+
+    def test_default_flags_leave_config_defaults(self):
+        from repro.cli import _config
+
+        config = _config(build_parser().parse_args(["run", "table2"]))
+        assert config.tune_pool == "per-call"
+        assert config.tune_promote == "rank"
+
+    def test_invalid_pool_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table2", "--pool", "hourly"])
+
+    def test_fit_save_accepts_pool_flags(self):
+        args = build_parser().parse_args(
+            [
+                "fit-save",
+                "compas",
+                "--out",
+                "x",
+                "--pool",
+                "session",
+                "--tune",
+                "--tune-strategy",
+                "halving",
+                "--tune-promote",
+                "extrapolate",
+            ]
+        )
+        assert args.pool == "session"
+        assert args.tune_promote == "extrapolate"

@@ -89,3 +89,21 @@ class TestPairModeConfig:
             ExperimentConfig(landmark_method="bogus")
         with pytest.raises(ValidationError):
             ExperimentConfig(n_landmarks=0)
+
+
+class TestPoolAndPromoteConfig:
+    def test_defaults(self):
+        config = ExperimentConfig.fast()
+        assert config.tune_pool == "per-call"
+        assert config.tune_promote == "rank"
+
+    def test_session_pool_and_extrapolate_accepted(self):
+        config = ExperimentConfig(tune_pool="session", tune_promote="extrapolate")
+        assert config.tune_pool == "session"
+        assert config.tune_promote == "extrapolate"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperimentConfig(tune_pool="hourly")
+        with pytest.raises(ValidationError):
+            ExperimentConfig(tune_promote="psychic")

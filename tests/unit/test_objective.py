@@ -206,3 +206,105 @@ class TestTriuUnravel:
     def test_i_strictly_less_than_j(self):
         ii, jj = _triu_unravel(np.arange(45), 10)
         assert np.all(ii < jj)
+
+
+class TestDeferredPrecompute:
+    """precompute=False: eager validation, lazy support structures."""
+
+    def _make(self, rng, **kwargs):
+        X = rng.normal(size=(30, 5))
+        return X, IFairObjective(X, [4], n_prototypes=3, random_state=0, **kwargs)
+
+    def test_losses_identical_to_precomputed(self, rng):
+        X = rng.normal(size=(30, 5))
+        theta = rng.uniform(0.1, 0.9, size=3 * 5 + 5)
+        for kwargs in (
+            {},
+            {"max_pairs": 50},
+            {"pair_mode": "landmark", "n_landmarks": 8},
+        ):
+            eager = IFairObjective(X, [4], n_prototypes=3, random_state=0, **kwargs)
+            lazy = IFairObjective(
+                X, [4], n_prototypes=3, random_state=0, precompute=False, **kwargs
+            )
+            l_eager, g_eager = eager.loss_and_grad(theta)
+            l_lazy, g_lazy = lazy.loss_and_grad(theta)
+            assert l_eager == l_lazy
+            np.testing.assert_array_equal(g_eager, g_lazy)
+
+    def test_validation_stays_eager(self, rng):
+        X = rng.normal(size=(30, 5))
+        with pytest.raises(ValidationError):
+            IFairObjective(X, [4], max_pairs=0, precompute=False)
+        with pytest.raises(ValidationError):
+            IFairObjective(
+                X,
+                [4],
+                pair_mode="landmark",
+                n_landmarks=0,
+                precompute=False,
+            )
+        with pytest.raises(ValidationError):
+            IFairObjective(
+                X,
+                [4],
+                pair_mode="landmark",
+                landmarks=[1, 1],
+                precompute=False,
+            )
+
+    def test_shape_bookkeeping_needs_no_precompute(self, rng):
+        _, obj = self._make(rng, precompute=False)
+        assert obj.n_params == 3 * 5 + 5
+        assert obj.n_features == 5
+        assert not obj._ready
+        V, alpha = obj.unpack(np.arange(float(obj.n_params)))
+        assert V.shape == (3, 5) and alpha.shape == (5,)
+        assert not obj._ready  # still deferred
+
+    def test_landmark_indices_triggers_build(self, rng):
+        X = rng.normal(size=(30, 5))
+        lazy = IFairObjective(
+            X,
+            [4],
+            pair_mode="landmark",
+            n_landmarks=6,
+            random_state=0,
+            precompute=False,
+        )
+        eager = IFairObjective(
+            X, [4], pair_mode="landmark", n_landmarks=6, random_state=0
+        )
+        np.testing.assert_array_equal(lazy.landmark_indices, eager.landmark_indices)
+
+
+class TestEnsureReadyFailure:
+    def test_failed_build_stays_retryable(self, rng, monkeypatch):
+        import repro.core.objective as objective_module
+
+        X = rng.normal(size=(30, 5))
+        lazy = IFairObjective(
+            X,
+            [4],
+            n_prototypes=3,
+            pair_mode="landmark",
+            n_landmarks=6,
+            random_state=0,
+            precompute=False,
+        )
+        calls = {"n": 0}
+        real = objective_module.select_landmarks
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise MemoryError("simulated build failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(objective_module, "select_landmarks", flaky)
+        with pytest.raises(MemoryError):
+            lazy.ensure_ready()
+        assert not lazy._ready  # failure must not latch readiness
+        theta = rng.uniform(0.1, 0.9, size=lazy.n_params)
+        loss, _ = lazy.loss_and_grad(theta)  # retry succeeds
+        assert np.isfinite(loss)

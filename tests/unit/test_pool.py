@@ -1,0 +1,325 @@
+"""Tests for the session worker-pool broker and the shm arena cache.
+
+The lifecycle guarantees of the session pool mode:
+
+* **warm reuse** — consecutive session executors land on the same
+  worker processes (the broker lends one persistent pool per width);
+* **idle reaping** — a pool without leases is shut down after the
+  broker's idle timeout, and an explicit ``reap_idle`` does it now;
+* **crash-respawn** — a worker dying inside a session pool is
+  respawned with the full config table, and the pool keeps serving;
+* **fork safety** — a forked child forgets the parent's pools and
+  arena entries instead of talking to (or unlinking) what it doesn't
+  own;
+* **parity** — per-call and session execution produce identical
+  results, and unpicklable task functions quietly fall back to a
+  per-call pool.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.executor import (
+    ParallelExecutor,
+    PoolBroker,
+    TaskError,
+    WorkerCrashError,
+    WorkerPool,
+    get_config_token,
+    get_shared,
+    run_tasks,
+    shutdown_session_pools,
+)
+from repro.exceptions import ValidationError
+from repro.utils.shm import arena, leaked_segments
+
+
+def _pid(payload):
+    return os.getpid()
+
+
+def _pid_and_token(payload):
+    return os.getpid(), get_config_token()
+
+
+def _shared_sum(i):
+    return float(get_shared()["X"][i].sum())
+
+
+@pytest.fixture(autouse=True)
+def _clean_session_state():
+    """Every test starts and ends with no broker pools or arena entries."""
+    shutdown_session_pools()
+    yield
+    shutdown_session_pools()
+    assert leaked_segments() == []
+
+
+class TestWarmReuse:
+    def test_consecutive_executors_reuse_worker_pids(self):
+        first = set(run_tasks(_pid, range(4), n_jobs=2, pool="session"))
+        second = set(run_tasks(_pid, range(4), n_jobs=2, pool="session"))
+        assert first == second
+        assert len(first) == 2
+
+    def test_config_tokens_differ_per_executor(self):
+        # The worker-side cache key must not collide across the
+        # sequential fits one session pool serves.
+        first = run_tasks(_pid_and_token, [0], n_jobs=2, pool="session")
+        second = run_tasks(_pid_and_token, [0], n_jobs=2, pool="session")
+        assert first[0][0] == second[0][0]  # same worker...
+        assert first[0][1] != second[0][1]  # ...different config token
+
+    def test_different_widths_get_different_pools(self):
+        run_tasks(_pid, range(2), n_jobs=2, pool="session")
+        run_tasks(_pid, range(3), n_jobs=3, pool="session")
+        assert set(PoolBroker.instance().stats()) == {2, 3}
+
+    def test_per_call_still_spawns_fresh_pools(self):
+        first = set(run_tasks(_pid, range(4), n_jobs=2))
+        second = set(run_tasks(_pid, range(4), n_jobs=2))
+        assert first.isdisjoint(second)
+
+
+class TestLeases:
+    def test_lease_refcounts_and_sharing(self):
+        broker = PoolBroker.instance()
+        lease_a = broker.lease(2)
+        lease_b = broker.lease(2)
+        assert lease_a.pool is lease_b.pool
+        assert broker.stats()[2]["refs"] == 2
+        lease_a.release()
+        lease_a.release()  # idempotent
+        assert broker.stats()[2]["refs"] == 1
+        lease_b.release()
+
+    def test_reap_idle_shuts_lease_free_pools_down(self):
+        broker = PoolBroker.instance()
+        run_tasks(_pid, [0], n_jobs=2, pool="session")
+        pool = broker.lease(2).pool  # observe, then release below
+        broker._release(2)
+        pids = pool.worker_pids()
+        assert pids
+        broker.reap_idle()
+        assert 2 not in broker.stats()
+        deadline = time.time() + 5.0
+        while any(_alive(pid) for pid in pids) and time.time() < deadline:
+            time.sleep(0.01)
+        assert not any(_alive(pid) for pid in pids)
+
+    def test_leased_pool_survives_reap_idle(self):
+        broker = PoolBroker.instance()
+        lease = broker.lease(2)
+        lease.pool.start()
+        broker.reap_idle()
+        assert broker.stats()[2]["started"]
+        lease.release()
+
+    def test_idle_timer_reaps_after_timeout(self):
+        broker = PoolBroker.instance()
+        broker.idle_timeout = 0.05
+        try:
+            run_tasks(_pid, [0], n_jobs=2, pool="session")
+            deadline = time.time() + 5.0
+            while 2 in broker.stats() and time.time() < deadline:
+                time.sleep(0.02)
+            assert 2 not in broker.stats()
+        finally:
+            broker.idle_timeout = 30.0
+
+
+class TestCrashRespawn:
+    def test_crash_retried_inside_session_pool(self, tmp_path):
+        # A closure cannot ride a session pool; use a marker-driven
+        # module-level crasher instead.
+        out = run_tasks(
+            _crash_once_task,
+            [(str(tmp_path), i) for i in range(4)],
+            n_jobs=2,
+            pool="session",
+        )
+        assert out == [0, 10, 20, 30]
+
+    def test_pool_survives_crash_and_stays_warm(self, tmp_path):
+        broker = PoolBroker.instance()
+        before = set(run_tasks(_pid, range(4), n_jobs=2, pool="session"))
+        run_tasks(
+            _crash_once_task,
+            [(str(tmp_path), 0)],
+            n_jobs=2,
+            pool="session",
+        )
+        after = set(run_tasks(_pid, range(4), n_jobs=2, pool="session"))
+        # One worker died and was respawned; the pool object survived.
+        assert len(broker.stats()) == 1
+        assert before & after  # the surviving worker is still there
+        assert before != after  # the crashed slot was respawned
+
+    def test_persistent_crash_raises_and_pool_recovers(self):
+        with pytest.raises(WorkerCrashError):
+            run_tasks(_always_crash, [0], n_jobs=2, max_retries=0, pool="session")
+        assert run_tasks(_pid, [0], n_jobs=2, pool="session")
+
+
+class TestForkSafety:
+    def test_forked_child_forgets_broker_and_arena(self):
+        X = np.ones((3, 3))
+        run_tasks(_shared_sum, [0], n_jobs=2, shared={"X": X}, pool="session")
+        broker = PoolBroker.instance()
+        assert broker.stats() and arena().stats()["entries"] == 1
+        pid = os.fork()
+        if pid == 0:  # child: inherited state must be forgotten
+            ok = (
+                PoolBroker.instance()._pools == {}
+                and arena().stats()["entries"] == 0
+            )
+            os._exit(0 if ok else 1)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        # The parent's pool and cache are untouched by the child exit.
+        assert broker.stats() and arena().stats()["entries"] == 1
+
+
+class TestSessionParity:
+    def test_results_identical_to_per_call(self):
+        X = np.arange(20.0).reshape(5, 4)
+        per_call = run_tasks(_shared_sum, range(5), n_jobs=2, shared={"X": X})
+        session = run_tasks(
+            _shared_sum, range(5), n_jobs=2, shared={"X": X}, pool="session"
+        )
+        assert per_call == session
+
+    def test_unpicklable_fn_falls_back_to_per_call(self):
+        captured = np.array([1.5, 2.5])
+        executor = ParallelExecutor(
+            lambda i: float(captured[i]), 2, pool="session"
+        )
+        with executor:
+            assert executor.map([0, 1]) == [1.5, 2.5]
+            assert executor._lease is None  # fell back to a private pool
+
+    def test_config_install_failure_surfaces_as_task_error(self):
+        # Pickling succeeds in the parent but unpickling fails in the
+        # worker (e.g. a name the worker's modules don't have): tasks
+        # must answer with the install error, not kill the worker.
+        with ParallelExecutor(_EvilUnpickle(), 2, pool="session") as executor:
+            with pytest.raises(TaskError, match="config install failed"):
+                executor.map([0, 1])
+        # The same (still alive) pool serves healthy configs after.
+        before = set(run_tasks(_pid, range(4), n_jobs=2, pool="session"))
+        assert before == set(PoolBroker.instance().lease(2).pool.worker_pids())
+        PoolBroker.instance()._release(2)
+
+    def test_invalid_pool_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            ParallelExecutor(_pid, 2, pool="daily")
+        with pytest.raises(ValidationError):
+            WorkerPool(0)
+
+
+class TestArenaCache:
+    def test_same_bytes_reuse_the_segment(self):
+        X = np.arange(6.0).reshape(2, 3)
+        lease_a = arena().publish({"X": X})
+        lease_b = arena().publish({"X": X.copy()})  # same bytes, new object
+        assert lease_a.handles["X"].name == lease_b.handles["X"].name
+        assert arena().stats()["entries"] == 1
+        lease_a.release()
+        lease_b.release()
+
+    def test_different_bytes_get_different_segments(self):
+        lease_a = arena().publish({"X": np.zeros((2, 2))})
+        lease_b = arena().publish({"X": np.ones((2, 2))})
+        assert lease_a.handles["X"].name != lease_b.handles["X"].name
+        lease_a.release()
+        lease_b.release()
+
+    def test_release_keeps_segment_cached_until_reap(self):
+        lease = arena().publish({"X": np.ones((2, 2))})
+        name = lease.handles["X"].name
+        lease.release()
+        assert name in leaked_segments()  # warm, deliberately alive
+        assert arena().reap() == 1
+        assert name not in leaked_segments()
+
+    def test_reap_spares_leased_segments(self):
+        lease = arena().publish({"X": np.ones((2, 2))})
+        assert arena().reap() == 0
+        lease.release()
+        assert arena().reap() == 1
+
+    def test_executor_shutdown_leaves_broadcast_warm(self):
+        X = np.arange(12.0).reshape(3, 4)
+        run_tasks(_shared_sum, [0], n_jobs=2, shared={"X": X}, pool="session")
+        stats = arena().stats()
+        assert stats["entries"] == 1 and stats["leased"] == 0
+        run_tasks(_shared_sum, [1], n_jobs=2, shared={"X": X}, pool="session")
+        assert arena().stats()["hits"] >= 1
+
+    def test_empty_publish_rejected(self):
+        with pytest.raises(ValidationError):
+            arena().publish({})
+
+    def test_reaping_last_pool_clears_cached_arena_entries(self):
+        X = np.ones((4, 4))
+        run_tasks(_shared_sum, [0], n_jobs=2, shared={"X": X}, pool="session")
+        assert arena().stats()["entries"] == 1
+        PoolBroker.instance().reap_idle()
+        assert arena().stats()["entries"] == 0
+        assert leaked_segments() == []
+
+
+def _crash_once_task(payload):
+    marker_dir, i = payload
+    marker = os.path.join(marker_dir, str(i))
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(23)
+    return i * 10
+
+
+def _always_crash(payload):
+    os._exit(29)
+
+
+def _raise_on_unpickle():
+    raise RuntimeError("this callable refuses to unpickle")
+
+
+class _EvilUnpickle:
+    """Pickles by reduction to a raising constructor (worker-side boom)."""
+
+    def __call__(self, payload):  # pragma: no cover - never reached
+        return payload
+
+    def __reduce__(self):
+        return (_raise_on_unpickle, ())
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+class TestStartFailureHygiene:
+    def test_failed_publish_leaves_no_lease_behind(self):
+        executor = ParallelExecutor(
+            _pid, 2, shared={"X": np.empty((0, 3))}, pool="session"
+        )
+        with pytest.raises(ValidationError, match="must not be empty"):
+            executor.start()
+        # Nothing held: no broker refcount, no arena entry, restartable.
+        assert all(
+            entry["refs"] == 0
+            for entry in PoolBroker.instance().stats().values()
+        )
+        assert arena().stats()["leased"] == 0
+        executor._shared_input = {"X": np.ones((2, 3))}
+        assert len(executor.map([0, 1])) == 2  # restartable after fix-up
+        executor.shutdown()

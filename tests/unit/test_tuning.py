@@ -10,6 +10,7 @@ from repro.core.tuning import (
     HalvingConfig,
     TuningCriterion,
     default_hyper_grid,
+    predict_full_budget,
 )
 from repro.exceptions import ValidationError
 from repro.utils.mathkit import harmonic_mean
@@ -327,3 +328,148 @@ class TestLandmarkGrid:
         for point in default_hyper_grid((0.1,), (4,)):
             assert "n_landmarks" not in point
             assert "pair_mode" not in point
+
+
+class TestPredictFullBudget:
+    def test_two_points_determine_the_curve_exactly(self):
+        # s(b) = 0.75 - 0.12 / b -> s(1) = 0.63
+        observations = [(0.25, 0.75 - 0.12 / 0.25), (0.5, 0.75 - 0.12 / 0.5)]
+        assert predict_full_budget(observations) == pytest.approx(0.63)
+
+    def test_more_points_regress_the_curve(self):
+        curve = lambda b: 0.9 - 0.2 / b  # noqa: E731
+        observations = [(b, curve(b)) for b in (0.125, 0.25, 0.5)]
+        assert predict_full_budget(observations) == pytest.approx(0.7)
+
+    def test_single_observation_falls_back_to_observed_score(self):
+        assert predict_full_budget([(0.25, 0.4)]) == 0.4
+
+    def test_duplicate_budgets_fall_back_to_latest_score(self):
+        assert predict_full_budget([(0.5, 0.3), (0.5, 0.45)]) == 0.45
+
+    def test_nan_observations_are_ignored(self):
+        observations = [(0.25, float("nan")), (0.5, 0.4)]
+        assert predict_full_budget(observations) == 0.4
+
+    def test_all_nan_returns_nan(self):
+        assert np.isnan(predict_full_budget([(0.5, float("nan"))]))
+        assert np.isnan(predict_full_budget([]))
+
+
+def _curve_build(curves, params):
+    """Deterministic learning-curve artifact: score depends on budget."""
+    a, c = curves[params["x"]]
+    budget_fraction = params["max_iter"] / 8.0
+    artifact = type("A", (), {})()
+    artifact.q = a + c / budget_fraction
+    return artifact
+
+
+class TestExtrapolatePromotion:
+    """A slow starter with the highest asymptote must survive rungs.
+
+    Candidate curves over the budget fraction b (full budget b = 1,
+    rungs at 1/4 and 1/2 under the default 3-rung schedule):
+
+    * ``slow``   s(b) = 0.75 - 0.12 / b  -> 0.27, 0.51, **0.63**
+    * ``fast``   s(b) = 0.60 - 0.02 / b  -> 0.52, 0.56, 0.58
+    * ``fading`` s(b) = 0.52 + 0.01 / b  -> 0.56, 0.54, 0.53
+
+    Observed rank at rung 1 orders fast > fading > slow and eliminates
+    the eventual full-budget winner; curve extrapolation predicts
+    slow's asymptote and keeps it, so the halving result matches the
+    exhaustive search.  Fairness mirrors utility so all three criteria
+    agree and the Pareto front cannot rescue the dropped candidate.
+    """
+
+    CURVES = {
+        0: (0.75, -0.12),  # slow starter, highest asymptote
+        1: (0.60, -0.02),  # fast starter
+        2: (0.52, +0.01),  # fades with budget
+        **{i: (0.25 + 0.002 * i, -0.005) for i in range(3, 9)},
+    }
+    GRID = [{"x": i, "max_iter": 8, "n_restarts": 1} for i in range(9)]
+
+    def _run(self, promote):
+        return GridSearch(
+            lambda p: _curve_build(self.CURVES, p),
+            lambda a: (a.q, a.q),
+            self.GRID,
+            strategy="halving",
+            halving=HalvingConfig(
+                n_rungs=3, promote_fraction=1.0 / 3.0, promote=promote
+            ),
+            keep_artifacts=False,
+        ).run()
+
+    def test_invalid_promote_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            HalvingConfig(promote="psychic")
+
+    def test_rank_promotion_drops_the_slow_starter(self):
+        result = self._run("rank")
+        assert result.best(TuningCriterion.MAX_UTILITY).order == 1
+        assert all(c.order != 0 for c in result.candidates)
+
+    def test_extrapolate_promotion_keeps_the_slow_starter(self):
+        result = self._run("extrapolate")
+        assert result.best(TuningCriterion.MAX_UTILITY).order == 0
+
+    def test_extrapolate_matches_exhaustive_winner(self):
+        exhaustive = GridSearch(
+            lambda p: _curve_build(self.CURVES, p),
+            lambda a: (a.q, a.q),
+            self.GRID,
+            keep_artifacts=False,
+        ).run()
+        extrapolated = self._run("extrapolate")
+        for criterion in TuningCriterion:
+            assert (
+                extrapolated.best(criterion).order
+                == exhaustive.best(criterion).order
+            )
+
+    def test_rung_zero_promotion_identical_to_rank(self):
+        # With a single observation there is no curve: the first rung's
+        # survivor set must be exactly the rank promoter's.
+        rank_history = self._run("rank").history
+        extra_history = self._run("extrapolate").history
+        assert rank_history[0]["promoted"] == extra_history[0]["promoted"]
+
+
+class TestExtrapolationBudgetAccounting:
+    """Warm-started rungs must record *cumulative* budget fractions."""
+
+    GRID = [
+        {"x": i / 10.0, "max_iter": 8, "n_restarts": 2} for i in range(1, 9)
+    ]
+
+    def _history(self, warm_start):
+        calls = []
+        result = GridSearch(
+            lambda p: _budget_build(calls, p),  # artifacts carry theta_
+            lambda a: (a.q, (a.q * 7.3) % 1.0),
+            self.GRID,
+            strategy="halving",
+            halving=HalvingConfig(
+                n_rungs=3,
+                promote_fraction=0.25,
+                warm_start=warm_start,
+                promote="extrapolate",
+            ),
+            keep_artifacts=False,
+        ).run()
+        return result.history
+
+    def test_warm_started_rungs_accumulate_budget(self):
+        history = self._history(warm_start=True)
+        # Rung 0 is always cold: everyone spent 1/4 of the budget.
+        assert set(history[0]["budget_fraction_spent"].values()) == {0.25}
+        # Rung 1 resumed survivors from rung-0 theta: the score they
+        # produced reflects 1/4 + 1/2 of the budget, not 1/2.
+        assert set(history[1]["budget_fraction_spent"].values()) == {0.75}
+
+    def test_cold_rungs_record_their_own_slice(self):
+        history = self._history(warm_start=False)
+        assert set(history[0]["budget_fraction_spent"].values()) == {0.25}
+        assert set(history[1]["budget_fraction_spent"].values()) == {0.5}
