@@ -67,6 +67,7 @@ from repro.metrics.classification import roc_auc
 from repro.metrics.individual import consistency
 from repro.serving.engine import InferenceEngine
 from repro.serving.fit import fit_serving_pipeline
+from repro.telemetry.tracing import disable_tracing, enable_tracing, get_tracer
 
 # The ISSUE-2 acceptance configuration for the oracle timings.
 M, N, K = 2000, 40, 10
@@ -236,9 +237,10 @@ def bench_transform(repeats: int) -> dict:
     return {"transform_M2000_N40_K10_s": _best_of(lambda: model.transform(X), repeats)}
 
 
-def bench_serving(repeats: int) -> dict:
+def _serving_engine(n: int = 12):
+    """A small fitted engine for the serving-latency rows."""
     rng = np.random.default_rng(4)
-    m, n = 400, 12
+    m = 400
     X = rng.normal(size=(m, n))
     X[:, n - 1] = (rng.random(m) > 0.5).astype(float)
     dataset = TabularDataset(
@@ -250,7 +252,11 @@ def bench_serving(repeats: int) -> dict:
         task="classification",
     )
     artifact = fit_serving_pipeline(dataset, n_prototypes=8, max_iter=40, random_state=0)
-    engine = InferenceEngine(artifact, cache_size=0)
+    return InferenceEngine(artifact, cache_size=0), rng
+
+
+def _serving_latencies(engine, rng, n: int, samples: int) -> list:
+    """Sorted single-record transform latencies after warm-up."""
     # Warm-up phase: the first calls pay allocator growth and code-path
     # warming that steady-state traffic never sees; without it the p99
     # row measures cold-start noise instead of the hot loop.
@@ -259,16 +265,98 @@ def bench_serving(repeats: int) -> dict:
         record[0, n - 1] = 0.0
         engine.transform(record)
     latencies = []
-    for _ in range(max(300, repeats * 100)):
+    for _ in range(samples):
         record = rng.normal(size=(1, n))
         record[0, n - 1] = 0.0
         start = time.perf_counter()
         engine.transform(record)
         latencies.append(time.perf_counter() - start)
     latencies.sort()
+    return latencies
+
+
+def bench_serving(repeats: int) -> dict:
+    n = 12
+    engine, rng = _serving_engine(n)
+    latencies = _serving_latencies(engine, rng, n, max(300, repeats * 100))
     return {
         "serving_transform_1rec_p50_s": latencies[len(latencies) // 2],
         "serving_transform_1rec_p99_s": latencies[int(len(latencies) * 0.99)],
+    }
+
+
+# ----------------------------------------------------------------------
+# telemetry overhead (PR 6)
+
+#: Allowed slowdown of tracing-on over tracing-off.  The fit row is
+#: tens of milliseconds, so span bookkeeping (a handful per restart)
+#: must vanish into it; the serving row is single-record microseconds,
+#: where one span per model pass is measurable but must stay bounded.
+TELEMETRY_FIT_TOLERANCE = 0.25
+TELEMETRY_SERVING_TOLERANCE = 1.0
+
+
+def bench_telemetry(repeats: int, trace_out=None) -> dict:
+    """Overhead of the observability layer on the PR-5 acceptance rows.
+
+    The metrics registry is always on (counters/histograms are part of
+    the request and fit paths by design); the toggle this measures is
+    span tracing, the only telemetry component with an off switch.
+    Each row times the identical workload with tracing disabled and
+    enabled; ``telemetry_overhead_ok`` is the in-run gate, and the
+    flag also rides the CI ``GATE_MUST_STAY_TRUE`` list.
+
+    ``trace_out`` (a path) dumps the tracing-on fit's span timeline as
+    a JSON file — the CI workflow uploads it as an artifact.
+    """
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(400, 20))
+
+    def fit():
+        return IFair(
+            n_prototypes=8,
+            n_restarts=2,
+            max_iter=30,
+            max_pairs=5000,
+            random_state=0,
+        ).fit(X, [19])
+
+    disable_tracing()
+    fit_off = _best_of(fit, repeats)
+    tracer = enable_tracing()
+    tracer.clear()
+    try:
+        fit_on = _best_of(fit, repeats)
+        if trace_out is not None:
+            tracer.dump_json(str(trace_out))
+    finally:
+        disable_tracing()
+        tracer.clear()
+
+    n = 12
+    engine, serving_rng = _serving_engine(n)
+    samples = max(300, repeats * 100)
+    p50_off = _serving_latencies(engine, serving_rng, n, samples)[samples // 2]
+    enable_tracing()
+    try:
+        p50_on = _serving_latencies(engine, serving_rng, n, samples)[samples // 2]
+    finally:
+        disable_tracing()
+        get_tracer().clear()
+
+    fit_ratio = fit_on / fit_off
+    serving_ratio = p50_on / p50_off
+    return {
+        "telemetry_fit_off_s": fit_off,
+        "telemetry_fit_on_s": fit_on,
+        "telemetry_fit_overhead_ratio": fit_ratio,
+        "telemetry_serving_p50_off_s": p50_off,
+        "telemetry_serving_p50_on_s": p50_on,
+        "telemetry_serving_overhead_ratio": serving_ratio,
+        "telemetry_overhead_ok": bool(
+            fit_ratio <= 1.0 + TELEMETRY_FIT_TOLERANCE
+            and serving_ratio <= 1.0 + TELEMETRY_SERVING_TOLERANCE
+        ),
     }
 
 
@@ -468,6 +556,7 @@ GATE_MUST_STAY_TRUE = (
     "jobs_agree_max_fairness",
     "jobs_agree_optimal",
     "fit_warm_pool_parity",
+    "telemetry_overhead_ok",
 )
 
 
@@ -511,7 +600,7 @@ def compare_to_baseline(entry: dict, doc: dict, tolerance: float) -> list:
     return violations
 
 
-def run(label: str, quick: bool, tune_jobs: int) -> dict:
+def run(label: str, quick: bool, tune_jobs: int, trace_out=None) -> dict:
     repeats = 3 if quick else 10
     entry = {
         "label": label,
@@ -528,6 +617,7 @@ def run(label: str, quick: bool, tune_jobs: int) -> dict:
     entry.update(bench_fit(repeats))
     entry.update(bench_transform(repeats))
     entry.update(bench_serving(repeats))
+    entry.update(bench_telemetry(repeats, trace_out=trace_out))
     entry.update(bench_tuning(tune_jobs, quick=quick))
     return entry
 
@@ -544,6 +634,15 @@ def main() -> None:
         type=int,
         default=4,
         help="worker count of the parallel tuning rows (default 4)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="TRACE.json",
+        default=None,
+        help=(
+            "dump the tracing-enabled fit's span timeline to this JSON "
+            "file (CI uploads it as a workflow artifact)"
+        ),
     )
     parser.add_argument(
         "--scaling",
@@ -598,7 +697,7 @@ def main() -> None:
         }
         entry.update(bench_tune_scaling(args.quick))
     else:
-        entry = run(args.label, args.quick, args.tune_jobs)
+        entry = run(args.label, args.quick, args.tune_jobs, trace_out=args.trace_out)
     path = Path(args.out)
     if path.exists():
         doc = json.loads(path.read_text())
@@ -660,6 +759,12 @@ def _print_summary(entry: dict) -> None:
         f"pool {entry['fit_M400_N20_K8_r2_jobs2_warm_s'] * 1e3:.1f} ms "
         f"(serial {entry['fit_M400_N20_K8_r2_s'] * 1e3:.1f} ms), parity "
         f"{'OK' if entry['fit_warm_pool_parity'] else 'BROKEN'}"
+    )
+    print(
+        "telemetry overhead: fit "
+        f"{entry['telemetry_fit_overhead_ratio']:.3f}x, serving p50 "
+        f"{entry['telemetry_serving_overhead_ratio']:.3f}x "
+        f"({'OK' if entry['telemetry_overhead_ok'] else 'OVER TOLERANCE'})"
     )
     jobs = entry["tuning_jobs"]
     agree = all(

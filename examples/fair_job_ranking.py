@@ -27,7 +27,7 @@ from repro.metrics.group import protected_share_at_k
 from repro.metrics.individual import consistency_of_scores
 from repro.metrics.ranking import kendall_tau
 from repro.ranking.query import build_queries
-from repro.utils.tables import print_table
+from repro.utils.tables import render_table
 
 
 def main():
@@ -83,11 +83,12 @@ def main():
             ]
         )
 
-    print_table(
+    print(render_table(
         ["Ranking policy", "Kendall tau", "yNN", "% protected in top 10"],
         rows,
         title=f"Job-candidate ranking across {len(queries)} queries",
-    )
+    ))
+    print()
     print(
         "FA*IR raises the protected share through quotas; iFair instead\n"
         "equalises treatment of similar candidates (highest yNN).  The two\n"

@@ -22,7 +22,7 @@ from repro.learners.scaler import StandardScaler
 from repro.metrics.classification import accuracy
 from repro.metrics.group import statistical_parity
 from repro.metrics.individual import consistency
-from repro.utils.tables import print_table
+from repro.utils.tables import render_table
 
 
 def main():
@@ -67,11 +67,12 @@ def main():
             ]
         )
 
-    print_table(
+    print(render_table(
         ["Decision rule", "Acc", "yNN", "Parity"],
         rows,
         title="Loan approvals on iFair representations, before/after post-hoc parity",
-    )
+    ))
+    print()
     print(
         "The representation keeps similar applicants' outcomes consistent;\n"
         "the statutory parity constraint is layered on top only where the\n"

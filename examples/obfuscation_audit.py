@@ -17,7 +17,7 @@ from repro.baselines.identity import mask_columns
 from repro.data.compas import generate_compas
 from repro.learners.scaler import StandardScaler
 from repro.metrics.obfuscation import adversarial_accuracy
-from repro.utils.tables import print_table
+from repro.utils.tables import render_table
 
 
 def main():
@@ -45,11 +45,12 @@ def main():
     ]
     rows.append(["(majority-class floor)", majority])
 
-    print_table(
+    print(render_table(
         ["Representation", "Adversarial accuracy"],
         rows,
         title="Can an adversary recover race from the representation? (lower = better)",
-    )
+    ))
+    print()
     print(
         "Masking the protected column is not enough — correlated proxies\n"
         "(geography, charge patterns) leak group membership.  The low-rank\n"

@@ -12,7 +12,7 @@ Run:  python examples/posthoc_parity.py
 from repro.data.airbnb import generate_airbnb
 from repro.pipeline.config import ExperimentConfig
 from repro.pipeline.posthoc import run_posthoc
-from repro.utils.tables import print_table
+from repro.utils.tables import render_table
 
 
 def main():
@@ -31,14 +31,15 @@ def main():
         p_grid=(0.1, 0.3, 0.5, 0.7, 0.9),
         min_query_size=10,
     )
-    print_table(
+    print(render_table(
         ["FA*IR p", "MAP", "% protected in top 10", "yNN"],
         [
             [pt.p, pt.map_score, 100.0 * pt.protected_share, pt.consistency]
             for pt in report.points
         ],
         title="iFair scores + FA*IR re-ranking on Airbnb listings",
-    )
+    ))
+    print()
     print(
         "Whatever protected share the regulator demands, the combined\n"
         "pipeline reaches it — while the individual-fairness property of\n"

@@ -21,7 +21,7 @@ from repro.learners.scaler import StandardScaler
 from repro.metrics.classification import accuracy, roc_auc
 from repro.metrics.group import statistical_parity
 from repro.metrics.individual import consistency
-from repro.utils.tables import print_table
+from repro.utils.tables import render_table
 
 
 def main():
@@ -62,11 +62,12 @@ def main():
             ]
         )
 
-    print_table(
+    print(render_table(
         ["Input to classifier", "Acc", "AUC", "yNN (individual)", "Parity (group)"],
         rows,
         title="Credit-risk classification: raw data vs iFair representation",
-    )
+    ))
+    print()
     print(
         "iFair trades a little utility for markedly more consistent\n"
         "treatment of similar individuals — without ever seeing labels\n"

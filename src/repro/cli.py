@@ -26,9 +26,11 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
+import repro
 from repro.exceptions import ReproError
 from repro.pipeline.config import ExperimentConfig
 from repro.pipeline.registry import EXPERIMENTS, run_experiment, run_experiment_dict
+from repro.telemetry.logs import configure_logging
 
 _DESCRIPTIONS = {
     "table1": "motivating Xing example (group-fair yet individually unfair)",
@@ -50,8 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce the iFair paper's tables and figures.",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
+    lst = sub.add_parser("list", help="list available experiments")
+    _add_logging_flags(lst)
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
@@ -75,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pair_mode_flags(run)
     _add_tuning_flags(run)
+    _add_logging_flags(run)
 
     fit = sub.add_parser(
         "fit-save",
@@ -129,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pair_mode_flags(fit)
     _add_tuning_flags(fit)
+    _add_logging_flags(fit)
 
     serve = sub.add_parser("serve", help="serve a saved artifact over HTTP")
     serve.add_argument("--artifact", required=True, help="artifact directory")
@@ -152,7 +162,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="micro-batch window in milliseconds (default 0)",
     )
+    _add_logging_flags(serve)
     return parser
+
+
+def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    """Structured-logging flags shared by every verb.
+
+    The library itself never writes to stderr; these flags turn on the
+    ``repro`` logging tree for the duration of the command.  With
+    ``--log-level INFO`` the ``serve`` verb emits one access-log record
+    per handled request; ``--log-json`` switches every record to
+    one-line JSON for log shippers.
+    """
+    parser.add_argument(
+        "--log-level",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        default="WARNING",
+        help="stderr log threshold for repro's loggers (default WARNING)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as one-line JSON instead of text",
+    )
 
 
 def _add_pair_mode_flags(parser: argparse.ArgumentParser) -> None:
@@ -359,6 +392,7 @@ def _cmd_serve(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_format=args.log_json)
     try:
         if args.command == "list":
             for name in sorted(EXPERIMENTS):

@@ -68,6 +68,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ReproError, ValidationError
+from repro.telemetry.metrics import get_registry, snapshot_diff
+from repro.telemetry.tracing import get_tracer
 from repro.utils.shm import ArenaLease, SharedArrayHandle, SharedArrays, arena
 
 EXECUTOR_BACKENDS = ("process", "thread", "serial")
@@ -219,7 +221,12 @@ def _worker_main(configs: Dict[int, _WireConfig], conn) -> None:
     half-written frame).  Messages in are ``None`` (exit),
     ``("cfg", wire)``, ``("drop", token)``, or ``("task", token,
     index, payload)``; messages out are ``(task_index, status,
-    payload)`` with status ``"ok"`` or ``"err"``.  Shared-memory
+    payload, telemetry)`` with status ``"ok"`` or ``"err"`` and
+    ``telemetry`` either ``None`` or ``(metrics_delta, spans)`` — the
+    worker's process-local registry delta since its previous reply
+    plus any finished tracer spans, which the parent folds into its
+    own registry/tracer (so cross-process totals are exact and
+    schedule-independent).  Shared-memory
     segments are attached once per name and refcounted across configs,
     so a session pool re-targeted at the same broadcast (the arena
     cache hit) pays no re-attach.  Everything here is deliberately
@@ -242,6 +249,24 @@ def _worker_main(configs: Dict[int, _WireConfig], conn) -> None:
     segments: Dict[str, shared_memory.SharedMemory] = {}
     installed: Dict[int, tuple] = {}  # token -> (fn, state, arrays, handles)
     broken: Dict[int, tuple] = {}  # token -> (exc_type, message, traceback)
+
+    # Telemetry baseline: under fork the child inherits the parent's
+    # registry contents and tracer buffer — snapshot/clear now so only
+    # counts produced *by this worker* are ever shipped back.
+    registry = get_registry()
+    tracer = get_tracer()
+    tracer.clear()
+    shipped = registry.snapshot()
+
+    def telemetry_delta():
+        nonlocal shipped
+        current = registry.snapshot()
+        delta = snapshot_diff(current, shipped)
+        shipped = current
+        spans = tracer.drain() if tracer.enabled else []
+        if not delta and not spans:
+            return None
+        return (delta or None, spans or None)
 
     def install(wire: _WireConfig) -> None:
         # A config that fails to install (typically: the blob pickled
@@ -301,19 +326,21 @@ def _worker_main(configs: Dict[int, _WireConfig], conn) -> None:
                 continue
             token, index, payload = msg[1], msg[2], msg[3]
             if token in broken:
-                conn.send((index, "err", broken[token]))
+                conn.send((index, "err", broken[token], None))
                 continue
             fn, state, arrays, handles = installed[token]
             _WORKER_STATE, _WORKER_SHARED, _WORKER_CFG_TOKEN = state, arrays, token
             _WORKER_HANDLES = dict(handles)
             try:
-                conn.send((index, "ok", fn(payload)))
+                result = fn(payload)
+                conn.send((index, "ok", result, telemetry_delta()))
             except BaseException as exc:  # surfaced parent-side as TaskError
                 conn.send(
                     (
                         index,
                         "err",
                         (type(exc).__name__, str(exc), traceback.format_exc()),
+                        telemetry_delta(),
                     )
                 )
     except EOFError:  # parent died; nothing left to serve
@@ -528,8 +555,19 @@ class WorkerPool:
                 assigned[worker_id] = index
                 return
 
-        def record(index: int, status: str, payload: Any) -> None:
+        def record(
+            index: int, status: str, payload: Any, telemetry: Any
+        ) -> None:
             nonlocal n_done, failure
+            if telemetry is not None:
+                # Parent-side reduction of the worker's shipped delta:
+                # counters/histograms add, so the totals are exact no
+                # matter which worker ran which task.
+                metrics_delta, spans = telemetry
+                if metrics_delta:
+                    get_registry().merge(metrics_delta)
+                if spans:
+                    get_tracer().ingest(spans)
             if status == "ok":
                 results[index] = payload
             elif failure is None:
@@ -556,7 +594,7 @@ class WorkerPool:
                     # the sentinel — the worker may have finished its
                     # task and exited before we looked.
                     try:
-                        index, status, payload = conn.recv()
+                        index, status, payload, telemetry = conn.recv()
                     except (EOFError, OSError):
                         self._handle_crash(
                             worker_id, assigned, retries, pending, max_retries
@@ -564,7 +602,7 @@ class WorkerPool:
                         dispatch(worker_id)
                         continue
                     assigned[worker_id] = None
-                    record(index, status, payload)
+                    record(index, status, payload, telemetry)
                     dispatch(worker_id)
                 elif not self._workers[worker_id].is_alive():
                     self._handle_crash(
@@ -585,6 +623,7 @@ class WorkerPool:
         max_retries: int,
     ) -> None:
         """Respawn a dead worker and requeue (or give up on) its task."""
+        get_registry().counter("executor_worker_respawns_total").inc()
         self._workers[worker_id].join()
         self._conns[worker_id].close()
         index = assigned[worker_id]
@@ -737,9 +776,14 @@ class PoolBroker:
             entry["pool"].shutdown()
 
     def stats(self) -> Dict[int, Dict[str, int]]:
-        """Per-width pool diagnostics (refcounts, liveness)."""
+        """Per-width pool diagnostics (refcounts, liveness).
+
+        The same numbers land in the process-wide metrics registry as
+        ``executor_pool_*`` gauges, so the Prometheus endpoint and this
+        dict can never disagree.
+        """
         with self._lock:
-            return {
+            stats = {
                 key: {
                     "refs": entry["refs"],
                     "started": entry["pool"].started,
@@ -747,6 +791,15 @@ class PoolBroker:
                 }
                 for key, entry in self._pools.items()
             }
+        registry = get_registry()
+        registry.gauge("executor_pools").set(len(stats))
+        for key, entry in stats.items():
+            labels = {"width": str(key)}
+            registry.gauge("executor_pool_refs", labels).set(entry["refs"])
+            registry.gauge("executor_pool_workers", labels).set(
+                entry["workers"]
+            )
+        return stats
 
     def _check_fork(self) -> None:
         # A forked child inherits this dict, but the worker processes
@@ -963,16 +1016,27 @@ class ParallelExecutor:
         payloads = list(payloads)
         if not payloads:
             return []
-        if self.backend == "serial":
-            return self._map_local(payloads, parallel=False)
-        if self.backend == "thread":
-            return self._map_local(payloads, parallel=True)
-        pool = self._lease.pool if self._lease is not None else self._own_pool
-        try:
-            return pool.run(self._token, payloads, self.max_retries)
-        except WorkerCrashError:
-            self.shutdown()
-            raise
+        # Counted parent-side so every backend (serial, thread,
+        # process) reports the same totals for the same work — the
+        # invariant the metrics-merge parity test pins down.
+        registry = get_registry()
+        registry.counter("executor_maps_total").inc()
+        registry.counter("executor_tasks_total").inc(len(payloads))
+        with get_tracer().span(
+            "executor.map", backend=self.backend, n_tasks=len(payloads)
+        ):
+            if self.backend == "serial":
+                return self._map_local(payloads, parallel=False)
+            if self.backend == "thread":
+                return self._map_local(payloads, parallel=True)
+            pool = (
+                self._lease.pool if self._lease is not None else self._own_pool
+            )
+            try:
+                return pool.run(self._token, payloads, self.max_retries)
+            except WorkerCrashError:
+                self.shutdown()
+                raise
 
     def _map_local(self, payloads: List[Any], *, parallel: bool) -> List[Any]:
         """Serial/thread execution with the same context accessors.

@@ -34,6 +34,8 @@ from repro.core.executor import (
 )
 from repro.core.objective import PAIR_MODES, IFairObjective
 from repro.exceptions import NotFittedError, ValidationError
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.tracing import get_tracer
 from repro.utils.landmarks import LANDMARK_METHODS
 from repro.utils.mathkit import softmax, weighted_minkowski_to_prototypes
 from repro.utils.rng import RandomStateLike, check_random_state, spawn_seeds
@@ -135,6 +137,10 @@ def _restart_task(payload: Tuple[int, int]) -> Tuple["RestartRecord", np.ndarray
         model._protected = check_protected_indices(state["protected"], X.shape[1])
         oracle_key = _oracle_cache_key(state)
         oracle = _WORKER_ORACLE_CACHE.get(oracle_key) if oracle_key else None
+        if oracle is not None:
+            # A warm worker reusing the memoised oracle across fits —
+            # the cache-efficiency signal the session-pool design buys.
+            get_registry().counter("fit_oracle_memo_hits_total").inc()
         if oracle is None:
             objective = model._build_objective(X)
             oracle = (objective, model._bounds(objective))
@@ -327,6 +333,18 @@ class IFair:
         self._protected = check_protected_indices(protected_indices, X.shape[1])
         workers = self._n_workers()
         use_process = workers > 1 and self.backend == "process"
+        get_registry().counter("fit_total").inc()
+        with get_tracer().span(
+            "fit",
+            n_records=int(X.shape[0]),
+            n_restarts=self.n_restarts,
+            backend=self.backend if workers > 1 else "serial",
+        ):
+            return self._fit_inner(X, workers, use_process)
+
+    def _fit_inner(
+        self, X: np.ndarray, workers: int, use_process: bool
+    ) -> "IFair":
         # The process path never evaluates the oracle parent-side:
         # construct it deferred (validation and shape bookkeeping only)
         # and let the workers build — or reuse from their cache — the
@@ -471,14 +489,18 @@ class IFair:
         starts from ``warm_start_theta`` when one was given.
         """
         theta0 = self._initial_theta(objective, seed, index=index)
-        result = optimize.minimize(
-            objective.loss_and_grad,
-            theta0,
-            jac=True,
-            method="L-BFGS-B",
-            bounds=bounds,
-            options={"maxiter": self.max_iter, "gtol": self.tol},
-        )
+        with get_tracer().span("fit.restart", seed=int(seed), index=index):
+            result = optimize.minimize(
+                objective.loss_and_grad,
+                theta0,
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": self.max_iter, "gtol": self.tol},
+            )
+        registry = get_registry()
+        registry.counter("fit_restarts_total").inc()
+        registry.counter("fit_lbfgs_iterations_total").inc(int(result.nit))
         record = RestartRecord(
             seed=seed,
             loss=float(result.fun),

@@ -118,6 +118,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.tracing import get_tracer
 from repro.utils import kernels
 from repro.utils.landmarks import LANDMARK_METHODS, select_landmarks
 from repro.utils.mathkit import pairwise_sq_euclidean, softmax
@@ -310,12 +312,17 @@ class IFairObjective:
             if explicit_landmarks is not None:
                 idx = explicit_landmarks
             else:
-                idx = select_landmarks(
-                    self.X[:, self.nonprotected],
-                    n_land,
+                with get_tracer().span(
+                    "fit.landmark_select",
+                    n_records=int(self.X.shape[0]),
                     method=self.landmark_method,
-                    random_state=random_state,
-                )
+                ):
+                    idx = select_landmarks(
+                        self.X[:, self.nonprotected],
+                        n_land,
+                        method=self.landmark_method,
+                        random_state=random_state,
+                    )
             self._anchor_cache = np.sort(np.asarray(idx, dtype=np.int64))
         return self._anchor_cache
 
@@ -332,6 +339,16 @@ class IFairObjective:
         """
         if self._ready:
             return
+        get_registry().counter("fit_oracle_builds_total").inc()
+        with get_tracer().span(
+            "fit.build_oracle",
+            n_records=int(self.X.shape[0]),
+            pair_mode=self.pair_mode,
+        ):
+            self._build_support()
+        self._ready = True
+
+    def _build_support(self) -> None:
         m = self.X.shape[0]
         max_pairs, explicit_landmarks, n_land, random_state = self._precompute_args
         # X is fixed for the objective's lifetime, so its elementwise
@@ -367,7 +384,6 @@ class IFairObjective:
             self._fair_landmark = kernels.LandmarkFairness(
                 X_star, idx, scale=m / idx.size
             )
-        self._ready = True
 
     # ------------------------------------------------------------------
     # Parameter packing

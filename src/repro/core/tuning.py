@@ -62,6 +62,8 @@ from repro.core.executor import (
 )
 from repro.core.pareto import pareto_front
 from repro.exceptions import ValidationError
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.tracing import get_tracer
 from repro.utils.mathkit import harmonic_mean
 
 MIXTURE_GRID: Tuple[float, ...] = (0.0, 0.05, 0.1, 1.0, 10.0, 100.0)
@@ -437,7 +439,11 @@ class GridSearch:
             "summarize": self.summarize,
             "theta_of": self.theta_of,
         }
-        with ParallelExecutor(
+        registry = get_registry()
+        registry.counter("tuning_searches_total").inc()
+        with get_tracer().span(
+            "tuning.search", strategy=self.strategy, grid=len(self.grid)
+        ), ParallelExecutor(
             _grid_task,
             # A pool wider than the grid would spawn idle workers.
             effective_n_jobs(self.n_jobs, limit=len(self.grid)),
@@ -457,6 +463,7 @@ class GridSearch:
                 # rung would hold everything anyway, making the early
                 # rungs pure overhead.
                 result = self._run_exhaustive(executor)
+        registry.counter("tuning_fits_total").inc(result.n_fits)
         result._refit = self._refit_candidate
         return result
 
@@ -632,9 +639,15 @@ class GridSearch:
             points = [
                 (order, self._rung_params(order, rung, thetas)) for order in alive
             ]
-            candidates = self._evaluate_points(
-                executor, points, keep=False, summarize=False
-            )
+            with get_tracer().span(
+                "tuning.rung",
+                rung=rung,
+                candidates=len(points),
+                budget_divisor=self._rung_budget(rung),
+            ):
+                candidates = self._evaluate_points(
+                    executor, points, keep=False, summarize=False
+                )
             n_fits += len(points)
             fraction = 1.0 / self._rung_budget(rung)
             for candidate in candidates:
@@ -676,9 +689,15 @@ class GridSearch:
         points = [
             (order, self._rung_params(order, final_rung, thetas)) for order in alive
         ]
-        candidates = self._evaluate_points(
-            executor, points, keep=self.keep_artifacts
-        )
+        with get_tracer().span(
+            "tuning.rung",
+            rung=final_rung,
+            candidates=len(points),
+            budget_divisor=1,
+        ):
+            candidates = self._evaluate_points(
+                executor, points, keep=self.keep_artifacts
+            )
         n_fits += len(points)
         history.append(
             {

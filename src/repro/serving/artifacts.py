@@ -71,6 +71,10 @@ class ServingArtifact:
         Encoded feature names (documentation only).
     metadata:
         Free-form provenance (dataset name, seed, fit configuration).
+    checksum:
+        SHA-256 of the array payload; set by ``save_artifact`` /
+        ``load_artifact`` so the service can report which exact model
+        weights it is answering with (``/v1/health``).
     """
 
     model: IFair
@@ -81,6 +85,7 @@ class ServingArtifact:
     thresholds: Optional[GroupThresholdAdjuster] = None
     feature_names: List[str] = field(default_factory=list)
     metadata: Dict = field(default_factory=dict)
+    checksum: Optional[str] = None
 
     def __post_init__(self):
         if self.model.prototypes_ is None or self.model.alpha_ is None:
@@ -179,6 +184,7 @@ def save_artifact(path: str, artifact: ServingArtifact) -> str:
     np.savez(buffer, **arrays)
     payload = buffer.getvalue()
     manifest["arrays_sha256"] = hashlib.sha256(payload).hexdigest()
+    artifact.checksum = manifest["arrays_sha256"]
     with open(os.path.join(path, ARRAYS_NAME), "wb") as fh:
         fh.write(payload)
     with open(os.path.join(path, MANIFEST_NAME), "w") as fh:
@@ -363,4 +369,5 @@ def load_artifact(path: str) -> ServingArtifact:
         thresholds=thresholds,
         feature_names=list(manifest.get("feature_names", [])),
         metadata=dict(manifest.get("metadata", {})),
+        checksum=str(manifest["arrays_sha256"]),
     )

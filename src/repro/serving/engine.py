@@ -43,6 +43,14 @@ from repro.metrics.group import protected_share_at_k
 from repro.ranking.engine import RankingEvaluation, evaluate_scores
 from repro.ranking.query import Query
 from repro.serving.artifacts import ServingArtifact
+from repro.telemetry.fairness import FairnessMonitor
+from repro.telemetry.metrics import (
+    Counter,
+    MetricsRegistry,
+    get_registry,
+    prometheus_text,
+)
+from repro.telemetry.tracing import get_tracer
 from repro.utils.validation import check_binary_labels
 
 
@@ -70,7 +78,14 @@ class MicroBatcher:
     coalescing then only captures rows that were already queued.
     """
 
-    def __init__(self, fn, *, max_delay: float = 0.0):
+    def __init__(
+        self,
+        fn,
+        *,
+        max_delay: float = 0.0,
+        flush_counter: Optional[Counter] = None,
+        coalesced_counter: Optional[Counter] = None,
+    ):
         if max_delay < 0:
             raise ValidationError("max_delay must be non-negative")
         self._fn = fn
@@ -78,8 +93,21 @@ class MicroBatcher:
         self._lock = threading.Lock()
         self._queue: List[_PendingBatch] = []
         self._flushing = False
-        self.n_flushes = 0
-        self.n_coalesced = 0
+        # Counters live in the owning engine's metrics registry when one
+        # is supplied, so /v1/metrics and these attributes agree by
+        # construction; standalone batchers get private counters.
+        self._n_flushes = flush_counter if flush_counter is not None else Counter()
+        self._n_coalesced = (
+            coalesced_counter if coalesced_counter is not None else Counter()
+        )
+
+    @property
+    def n_flushes(self) -> int:
+        return int(self._n_flushes.value)
+
+    @property
+    def n_coalesced(self) -> int:
+        return int(self._n_coalesced.value)
 
     def submit(self, rows: np.ndarray) -> np.ndarray:
         with self._lock:
@@ -97,7 +125,7 @@ class MicroBatcher:
             # no queue entry, no Event, no concatenate — one lock
             # round-trip and the model pass itself.  Followers that
             # queued during the pass inherit leadership on the way out.
-            self.n_flushes += 1
+            self._n_flushes.inc()
             try:
                 return self._fn(rows)
             finally:
@@ -148,8 +176,9 @@ class MicroBatcher:
             self._flush(batch)
 
     def _flush(self, batch: List[_PendingBatch]) -> None:
-        self.n_flushes += 1
-        self.n_coalesced += len(batch) - 1
+        self._n_flushes.inc()
+        if len(batch) > 1:
+            self._n_coalesced.inc(len(batch) - 1)
         try:
             stacked = np.concatenate([entry.rows for entry in batch], axis=0)
             results = self._fn(stacked)
@@ -169,24 +198,39 @@ class MicroBatcher:
 class LRUCache:
     """Thread-safe byte-key -> array LRU with hit/miss accounting."""
 
-    def __init__(self, capacity: int):
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        hit_counter: Optional[Counter] = None,
+        miss_counter: Optional[Counter] = None,
+    ):
         if capacity < 0:
             raise ValidationError("cache capacity must be non-negative")
         self.capacity = int(capacity)
         self._store: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self._hits = hit_counter if hit_counter is not None else Counter()
+        self._misses = miss_counter if miss_counter is not None else Counter()
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
 
     def get(self, key: bytes) -> Optional[np.ndarray]:
         with self._lock:
             value = self._store.get(key)
-            if value is None:
-                self.misses += 1
-                return None
-            self._store.move_to_end(key)
-            self.hits += 1
-            return value
+            if value is not None:
+                self._store.move_to_end(key)
+        if value is None:
+            self._misses.inc()
+            return None
+        self._hits.inc()
+        return value
 
     def put(self, key: bytes, value: np.ndarray) -> None:
         if self.capacity == 0:
@@ -234,12 +278,36 @@ class InferenceEngine:
             raise ValidationError("batch_size must be a positive integer")
         self.artifact = artifact
         self.batch_size = int(batch_size)
-        self._cache = LRUCache(cache_size)
-        self._batcher = MicroBatcher(self._represent, max_delay=max_batch_delay)
+        # Every serving counter lives in a per-engine registry — two
+        # engines in one process never mix series, and /v1/metrics
+        # renders this registry merged with the process-wide one.
+        self.registry = MetricsRegistry()
+        self._cache = LRUCache(
+            cache_size,
+            hit_counter=self.registry.counter("serving_cache_hits_total"),
+            miss_counter=self.registry.counter("serving_cache_misses_total"),
+        )
+        self._batcher = MicroBatcher(
+            self._represent,
+            max_delay=max_batch_delay,
+            flush_counter=self.registry.counter("serving_batch_flushes_total"),
+            coalesced_counter=self.registry.counter(
+                "serving_coalesced_requests_total"
+            ),
+        )
         self._micro_batch = bool(micro_batch)
-        self._lock = threading.Lock()
-        self.n_requests = 0
-        self.n_records = 0
+        self._requests = self.registry.counter("serving_requests_total")
+        self._records = self.registry.counter("serving_records_total")
+        self._latency: Dict[str, object] = {
+            verb: self.registry.histogram(
+                "serving_request_seconds", {"verb": verb}
+            )
+            for verb in ("transform", "score", "rank", "decide")
+        }
+        self.monitor = FairnessMonitor(
+            artifact.protected_indices, registry=self.registry
+        )
+        self.started_at = time.time()
         # Per-request config resolution hoisted out of the hot loop:
         # the artifact's layout is immutable once served, so the
         # attribute chains are bound once rather than re-resolved on
@@ -248,6 +316,19 @@ class InferenceEngine:
         self._encoder = artifact.encoder
         self._scaler = artifact.scaler
         self._n_features = int(artifact.n_features)
+
+    @property
+    def n_requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def n_records(self) -> int:
+        return int(self._records.value)
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since this engine was constructed."""
+        return time.time() - self.started_at
 
     # ------------------------------------------------------------------
     # record ingestion
@@ -280,11 +361,12 @@ class InferenceEngine:
         their own re-validation scans (``validate=False`` — the
         arithmetic is the batch pipeline's, unchanged).
         """
-        if self._scaler is not None:
-            X = self._scaler.transform(X, validate=False)
-        return self._model.transform(
-            X, batch_size=self.batch_size, validate=False
-        )
+        with get_tracer().span("serving.model_pass", n_rows=int(X.shape[0])):
+            if self._scaler is not None:
+                X = self._scaler.transform(X, validate=False)
+            return self._model.transform(
+                X, batch_size=self.batch_size, validate=False
+            )
 
     @staticmethod
     def _keys(X: np.ndarray) -> List[bytes]:
@@ -293,9 +375,8 @@ class InferenceEngine:
     def _fair_representation(self, records) -> np.ndarray:
         """Cache-aware path from raw records to fair representations."""
         X = self._encode(records)
-        with self._lock:
-            self.n_requests += 1
-            self.n_records += X.shape[0]
+        self._requests.inc()
+        self._records.inc(X.shape[0])
         if self._cache.capacity == 0:  # skip per-row hashing entirely
             if self._micro_batch:
                 return self._batcher.submit(X)
@@ -323,18 +404,29 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # serving verbs
 
-    def transform(self, records) -> np.ndarray:
-        """Fair representation of each record (Definition 3)."""
-        return self._fair_representation(records)
-
-    def score(self, records) -> np.ndarray:
-        """P(positive outcome) per record via the artifact's scorer."""
+    def _score_impl(self, records) -> np.ndarray:
         if self.artifact.scorer is None:
             raise ValidationError(
                 "artifact carries no scorer; fit-save with a labelled dataset"
             )
         Z = self._fair_representation(records)
         return self.artifact.scorer.predict_proba(Z)
+
+    def transform(self, records) -> np.ndarray:
+        """Fair representation of each record (Definition 3)."""
+        start = time.perf_counter()
+        try:
+            return self._fair_representation(records)
+        finally:
+            self._latency["transform"].observe(time.perf_counter() - start)
+
+    def score(self, records) -> np.ndarray:
+        """P(positive outcome) per record via the artifact's scorer."""
+        start = time.perf_counter()
+        try:
+            return self._score_impl(records)
+        finally:
+            self._latency["score"].observe(time.perf_counter() - start)
 
     def rank(
         self,
@@ -349,41 +441,65 @@ class InferenceEngine:
         and — when per-record ``groups`` are supplied — the protected
         share of the returned prefix (the paper's %protected measure).
         """
-        scores = self.score(records)
-        order = np.argsort(-scores, kind="mergesort")
-        k = scores.size if top_k is None else int(top_k)
-        if k < 1:
-            raise ValidationError("top_k must be a positive integer")
-        k = min(k, scores.size)
-        result: Dict = {
-            "order": order[:k].tolist(),
-            "scores": scores.tolist(),
-            "top_k": k,
-        }
-        if groups is not None:
-            groups = check_binary_labels(groups, "groups", length=scores.size)
-            result["protected_share"] = protected_share_at_k(order, groups, k=k)
-        return result
+        start = time.perf_counter()
+        try:
+            scores = self._score_impl(records)
+            order = np.argsort(-scores, kind="mergesort")
+            k = scores.size if top_k is None else int(top_k)
+            if k < 1:
+                raise ValidationError("top_k must be a positive integer")
+            k = min(k, scores.size)
+            result: Dict = {
+                "order": order[:k].tolist(),
+                "scores": scores.tolist(),
+                "top_k": k,
+            }
+            if groups is not None:
+                groups = check_binary_labels(groups, "groups", length=scores.size)
+                result["protected_share"] = protected_share_at_k(
+                    order, groups, k=k
+                )
+            return result
+        finally:
+            self._latency["rank"].observe(time.perf_counter() - start)
 
     def decide(self, records, groups) -> Dict:
-        """Accept/reject each record under the calibrated thresholds."""
+        """Accept/reject each record under the calibrated thresholds.
+
+        Every decided record also feeds the sliding-window
+        :class:`~repro.telemetry.fairness.FairnessMonitor`, whose drift
+        flags ride along in the response (and in ``/v1/stats``): a
+        caller logging decisions gets the live fairness state with
+        them.
+        """
         if self.artifact.thresholds is None:
             raise ValidationError(
                 "artifact carries no decision thresholds; fit-save with "
                 "--criterion to calibrate them"
             )
-        scores = self.score(records)
-        groups = check_binary_labels(groups, "groups", length=scores.size)
-        decisions = self.artifact.thresholds.predict(scores, groups)
-        return {
-            "decisions": decisions.tolist(),
-            "scores": scores.tolist(),
-            "criterion": self.artifact.thresholds.criterion,
-            "thresholds": {
-                str(int(g)): t
-                for g, t in sorted(self.artifact.thresholds.thresholds_.items())
-            },
-        }
+        start = time.perf_counter()
+        try:
+            scores = self._score_impl(records)
+            groups = check_binary_labels(groups, "groups", length=scores.size)
+            decisions = self.artifact.thresholds.predict(scores, groups)
+            # decide() is not the latency-critical verb, so the extra
+            # encode pass to feed the monitor's feature window is
+            # acceptable (and cheap next to the scoring pass above).
+            self.monitor.observe(self._encode(records), groups, decisions)
+            return {
+                "decisions": decisions.tolist(),
+                "scores": scores.tolist(),
+                "criterion": self.artifact.thresholds.criterion,
+                "thresholds": {
+                    str(int(g)): t
+                    for g, t in sorted(
+                        self.artifact.thresholds.thresholds_.items()
+                    )
+                },
+                "fairness_drift": self.monitor.drift_flags(),
+            }
+        finally:
+            self._latency["decide"].observe(time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # diagnostics
@@ -417,9 +533,15 @@ class InferenceEngine:
         return evaluate_scores(dataset, [query], predicted, k=k)
 
     def stats(self) -> Dict:
-        """Serving counters: traffic, cache behaviour, batching."""
+        """Serving counters: traffic, cache behaviour, batching.
+
+        Every number is read from the engine's metrics registry — the
+        same instruments ``/v1/metrics`` renders — plus the fairness
+        monitor's current window state.
+        """
         hits, misses = self._cache.hits, self._cache.misses
         lookups = hits + misses
+        self.registry.gauge("serving_cache_entries").set(len(self._cache))
         return {
             "requests": self.n_requests,
             "records": self.n_records,
@@ -430,7 +552,22 @@ class InferenceEngine:
             "batch_flushes": self._batcher.n_flushes,
             "coalesced_requests": self._batcher.n_coalesced,
             "endpoints": sorted(self.endpoints()),
+            "uptime_s": self.uptime_s,
+            "fairness": self.monitor.metrics(),
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus text: this engine's series + the library series.
+
+        The library registry (:func:`repro.telemetry.metrics.get_registry`)
+        carries fit/executor/shm counters — including worker deltas the
+        executors reduced — so one scrape covers the whole process.
+        """
+        self.registry.gauge("serving_cache_entries").set(len(self._cache))
+        self.registry.gauge("serving_uptime_seconds").set(self.uptime_s)
+        return prometheus_text(
+            self.registry.snapshot(), get_registry().snapshot()
+        )
 
     def endpoints(self) -> List[str]:
         """Verbs this artifact can answer."""

@@ -35,6 +35,7 @@ from repro.metrics.classification import roc_auc
 from repro.metrics.individual import consistency
 from repro.posthoc.thresholds import GroupThresholdAdjuster
 from repro.serving.artifacts import ServingArtifact
+from repro.telemetry.tracing import get_tracer
 
 #: Mixture grid searched by ``tune=True`` — wide spacing, crossed with
 #: the model's prototype count.
@@ -201,34 +202,40 @@ def fit_serving_pipeline(
         "pool": pool,
         "random_state": random_state,
     }
-    tuned_params: Optional[Dict] = None
-    if tune:
-        tuned_params = _tune_mixtures(
-            X,
-            y,
-            dataset.protected_indices,
-            model_params,
-            scorer_l2=scorer_l2,
-            tune_criterion=tune_criterion,
-            tune_jobs=tune_jobs,
-            tune_strategy=tune_strategy,
-            tune_promote=tune_promote,
-            pool=pool,
-            random_state=random_state,
-        )
-        model_params.update(tuned_params)
+    tracer = get_tracer()
+    with tracer.span(
+        "serving.fit_pipeline", dataset=dataset.name, tune=tune
+    ):
+        tuned_params: Optional[Dict] = None
+        if tune:
+            with tracer.span("serving.fit_pipeline.tune"):
+                tuned_params = _tune_mixtures(
+                    X,
+                    y,
+                    dataset.protected_indices,
+                    model_params,
+                    scorer_l2=scorer_l2,
+                    tune_criterion=tune_criterion,
+                    tune_jobs=tune_jobs,
+                    tune_strategy=tune_strategy,
+                    tune_promote=tune_promote,
+                    pool=pool,
+                    random_state=random_state,
+                )
+            model_params.update(tuned_params)
 
-    model = IFair(**model_params).fit(X, dataset.protected_indices)
-    Z = model.transform(X)
+        model = IFair(**model_params).fit(X, dataset.protected_indices)
+        Z = model.transform(X)
 
-    scorer = LogisticRegression(l2=scorer_l2).fit(Z, y)
-    scores = scorer.predict_proba(Z)
+        with tracer.span("serving.fit_pipeline.scorer"):
+            scorer = LogisticRegression(l2=scorer_l2).fit(Z, y)
+            scores = scorer.predict_proba(Z)
 
-    thresholds = None
-    if dataset.task == "classification":
-        thresholds = GroupThresholdAdjuster(criterion=criterion).fit(
-            scores, dataset.protected, y_true=y
-        )
+            thresholds = None
+            if dataset.task == "classification":
+                thresholds = GroupThresholdAdjuster(criterion=criterion).fit(
+                    scores, dataset.protected, y_true=y
+                )
 
     return ServingArtifact(
         model=model,

@@ -8,26 +8,41 @@ both request paths share one implementation and cannot drift apart.
 
 Endpoints
 ---------
-``GET  /v1/health``     liveness + artifact metadata
-``GET  /v1/stats``      traffic / cache / batching counters
+``GET  /v1/health``     liveness + version/checksum/uptime + metadata
+``GET  /v1/stats``      traffic / cache / batching / fairness counters
+``GET  /v1/metrics``    Prometheus text exposition (all process series)
 ``POST /v1/transform``  ``{"records": [[...], ...]}`` -> fair representations
 ``POST /v1/score``      ``{"records": ...}`` -> outcome probabilities
 ``POST /v1/rank``       ``{"records": ..., "top_k"?, "groups"?}`` -> ordering
 ``POST /v1/decide``     ``{"records": ..., "groups": [...]}`` -> decisions
+
+Over HTTP, ``/v1/metrics`` answers with raw ``text/plain`` in the
+Prometheus exposition format; through :func:`dispatch` (the in-process
+client) the same text arrives under the ``"prometheus"`` key.  Every
+handled request emits a structured access-log record (method, path,
+status, latency_ms) through :mod:`repro.telemetry.logs` — quiet unless
+``configure_logging`` was called.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
+import repro
 from repro.exceptions import ReproError, ValidationError
 from repro.serving.artifacts import load_artifact
 from repro.serving.engine import InferenceEngine
+from repro.telemetry.logs import get_logger
+from repro.telemetry.tracing import get_tracer
 
 MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+_ACCESS_LOG = get_logger("serving.access")
+_SERVER_LOG = get_logger("serving.http")
 
 
 class RequestError(ValidationError):
@@ -59,12 +74,19 @@ def dispatch(
     if route == ("GET", "/v1/health"):
         return {
             "status": "ok",
+            "version": repro.__version__,
+            "artifact_checksum": engine.artifact.checksum,
+            "uptime_s": engine.uptime_s,
             "endpoints": engine.endpoints(),
             "n_features": engine.artifact.n_features,
             "metadata": engine.artifact.metadata,
         }
     if route == ("GET", "/v1/stats"):
         return engine.stats()
+    if route == ("GET", "/v1/metrics"):
+        # The HTTP handler unwraps this to a raw text/plain body; the
+        # in-process client receives the exposition text under a key.
+        return {"prometheus": engine.metrics_text()}
     try:
         if route == ("POST", "/v1/transform"):
             Z = engine.transform(_require_records(payload))
@@ -99,21 +121,62 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serving/1"
     protocol_version = "HTTP/1.1"
 
-    def _reply(self, status: int, body: Dict) -> None:
-        data = json.dumps(body).encode("utf-8")
+    def _reply(
+        self,
+        status: int,
+        body: Dict,
+        *,
+        raw: Optional[bytes] = None,
+        content_type: str = "application/json",
+    ) -> None:
+        data = raw if raw is not None else json.dumps(body).encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
 
     def _handle(self, payload: Optional[Dict]) -> None:
+        start = time.perf_counter()
+        status = 200
         try:
-            body = dispatch(self.server.engine, self.command, self.path, payload)
+            with get_tracer().span(
+                "serving.dispatch", method=self.command, path=self.path
+            ):
+                body = dispatch(
+                    self.server.engine, self.command, self.path, payload
+                )
         except RequestError as exc:
-            self._reply(exc.status, {"error": str(exc)})
-            return
-        self._reply(200, body)
+            status = exc.status
+            self._reply(status, {"error": str(exc)})
+        else:
+            if "prometheus" in body and self.path.split("?", 1)[0].rstrip(
+                "/"
+            ) == "/v1/metrics":
+                # Prometheus scrapers expect the exposition text bare,
+                # not wrapped in JSON.
+                self._reply(
+                    200,
+                    {},
+                    raw=body["prometheus"].encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._reply(200, body)
+        finally:
+            latency_ms = (time.perf_counter() - start) * 1000.0
+            _ACCESS_LOG.log(
+                20 if self.server.verbose else 10,  # INFO / DEBUG
+                "%s %s",
+                self.command,
+                self.path,
+                extra={
+                    "method": self.command,
+                    "path": self.path,
+                    "status": status,
+                    "latency_ms": round(latency_ms, 3),
+                },
+            )
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         self._handle(None)
@@ -138,9 +201,14 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._handle(payload)
 
-    def log_message(self, format: str, *args) -> None:  # silence stderr
-        if self.server.verbose:
-            super().log_message(format, *args)
+    def log_message(self, format: str, *args) -> None:
+        # http.server's own notices (malformed request lines, broken
+        # pipes) route through the logging layer instead of stderr;
+        # per-request access records are emitted by _handle with
+        # status and latency.  Quiet by default either way.
+        _SERVER_LOG.log(
+            20 if self.server.verbose else 10, format % args if args else format
+        )
 
 
 class DecisionService:

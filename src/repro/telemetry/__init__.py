@@ -1,0 +1,53 @@
+"""Unified telemetry: metrics, tracing, structured logs, drift watch.
+
+Four small, stdlib-only layers that every other subsystem reports
+through:
+
+* :mod:`repro.telemetry.metrics` — thread-safe counters / gauges /
+  fixed-bucket histograms with **mergeable snapshots** (workers ship
+  deltas over their pipes, the parent reduces) and Prometheus text
+  rendering for ``GET /v1/metrics``;
+* :mod:`repro.telemetry.tracing` — perf_counter span tracing across
+  fit phases and the serving request path, exportable as a JSON
+  timeline; disabled-by-default and ~free when off;
+* :mod:`repro.telemetry.logs` — structured (optionally JSON) logging
+  with one ``configure_logging()`` entry point, surfaced as
+  ``--log-level`` / ``--log-json`` on every CLI verb;
+* :mod:`repro.telemetry.fairness` — sliding-window consistency and
+  group decision-rate monitoring of served traffic with drift flags.
+"""
+
+from repro.telemetry.fairness import FairnessMonitor
+from repro.telemetry.logs import configure_logging, get_logger
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    parse_metric_key,
+    prometheus_text,
+    snapshot_diff,
+)
+from repro.telemetry.tracing import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "FairnessMonitor",
+    "MetricsRegistry",
+    "Tracer",
+    "configure_logging",
+    "disable_tracing",
+    "enable_tracing",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "merge_snapshots",
+    "parse_metric_key",
+    "prometheus_text",
+    "snapshot_diff",
+]

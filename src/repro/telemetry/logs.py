@@ -1,0 +1,122 @@
+"""Structured logging for the repro package (stdlib ``logging`` only).
+
+Every module logs through ``logging.getLogger("repro...")`` as usual;
+this module owns the one place handlers are attached.
+:func:`configure_logging` installs a single stderr handler on the
+``"repro"`` root with either a human-readable line format or
+line-delimited JSON (``json_format=True``), and is idempotent — calling
+it again reconfigures instead of stacking handlers.  The CLI exposes it
+as ``--log-level`` / ``--log-json`` on every verb.
+
+Structured fields ride in ``extra={...}`` on any log call; the JSON
+formatter lifts them to top-level keys next to ``ts``, ``level``,
+``logger`` and ``msg`` (the access log in :mod:`repro.serving.service`
+emits method/path/status/latency_ms this way).  Unconfigured, the
+package stays quiet: a :class:`logging.NullHandler` sits on the root
+logger so library users who never call :func:`configure_logging` see
+no "no handler" warnings and no output.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+#: Name of the package root logger every repro module hangs off.
+ROOT_LOGGER = "repro"
+
+#: ``LogRecord`` attributes that are plumbing, not payload — anything
+#: else on a record is a structured field supplied via ``extra=``.
+_RESERVED = frozenset(
+    logging.LogRecord(
+        "", 0, "", 0, "", (), None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg + extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class LineFormatter(logging.Formatter):
+    """Human-readable lines with structured extras appended as k=v."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime(
+            "%H:%M:%S", time.localtime(record.created)
+        )
+        base = (
+            f"{stamp} {record.levelname:<7} "
+            f"{record.name}: {record.getMessage()}"
+        )
+        extras = [
+            f"{key}={value}"
+            for key, value in record.__dict__.items()
+            if key not in _RESERVED and not key.startswith("_")
+        ]
+        if extras:
+            base = f"{base} [{' '.join(extras)}]"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the package root logger (``repro.<name>``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: str = "WARNING",
+    *,
+    json_format: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Attach the package's single handler (idempotent).
+
+    Parameters
+    ----------
+    level:
+        Threshold name (``DEBUG``/``INFO``/...); case-insensitive.
+    json_format:
+        Emit line-delimited JSON instead of human-readable lines.
+    stream:
+        Target stream (defaults to ``sys.stderr``); tests pass a
+        ``StringIO``.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    for handler in [h for h in root.handlers if getattr(h, "_repro_handler", False)]:
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonFormatter() if json_format else LineFormatter())
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root
+
+
+# Library default: silent unless configure_logging() is called.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())

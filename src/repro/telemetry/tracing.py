@@ -1,0 +1,173 @@
+"""Lightweight span tracing for fit and serving phases.
+
+A :class:`Tracer` records named, nested spans with
+``time.perf_counter`` timestamps.  It is **off by default** — a
+disabled tracer's :meth:`~Tracer.span` returns a shared no-op context
+manager, so instrumentation left in hot paths (the serving dispatch
+loop, per-restart L-BFGS) costs one attribute load and one ``if``.
+
+Enabled, each span captures name, start/end on the perf_counter
+timeline, nesting depth, parent span name, pid and thread, plus any
+caller-supplied metadata.  Finished spans land in a bounded deque;
+:meth:`~Tracer.timeline` returns them as JSON-safe dicts sorted by
+start time and :meth:`~Tracer.dump_json` writes the timeline to a
+file — ``benchmarks/run_bench.py`` dumps a fit trace this way for the
+CI workflow artifact.
+
+Worker processes get their own process-local tracer (module globals do
+not survive ``spawn``, and fork copies enablement at pool-creation
+time).  The executor drains worker spans after each task and ships
+them back with the metrics delta, so :func:`get_tracer` in the parent
+ends up holding the cross-process timeline: perf_counter reads
+``CLOCK_MONOTONIC`` on Linux, which is consistent across processes,
+so parent and worker spans interleave correctly on one axis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from time import perf_counter
+from typing import Dict, List, Optional
+
+#: Cap on retained finished spans; oldest fall off first.
+MAX_SPANS = 10_000
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """One live span (context manager); records itself on exit."""
+
+    __slots__ = ("_tracer", "name", "meta", "start", "depth", "parent")
+
+    def __init__(self, tracer: "Tracer", name: str, meta: Optional[Dict]):
+        self._tracer = tracer
+        self.name = name
+        self.meta = meta
+        self.start = 0.0
+        self.depth = 0
+        self.parent: Optional[str] = None
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self.depth = len(stack)
+        self.parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self._tracer._record(self, end)
+
+
+class Tracer:
+    """Collects nested spans when enabled; free when disabled."""
+
+    def __init__(self, *, max_spans: int = MAX_SPANS):
+        self.enabled = False
+        self._spans: deque = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **meta):
+        """Context manager timing one phase (no-op while disabled)."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, meta or None)
+
+    def _record(self, span: _Span, end: float) -> None:
+        entry = {
+            "name": span.name,
+            "start_s": span.start,
+            "end_s": end,
+            "duration_s": end - span.start,
+            "depth": span.depth,
+            "parent": span.parent,
+            "pid": os.getpid(),
+            "thread": threading.current_thread().name,
+        }
+        if span.meta:
+            entry["meta"] = span.meta
+        with self._lock:
+            self._spans.append(entry)
+
+    def ingest(self, spans: List[Dict]) -> None:
+        """Adopt spans recorded elsewhere (worker-shipped timelines)."""
+        if not spans:
+            return
+        with self._lock:
+            self._spans.extend(spans)
+
+    def drain(self) -> List[Dict]:
+        """Remove and return every finished span (worker-side shipping)."""
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        return spans
+
+    def timeline(self) -> List[Dict]:
+        """Finished spans as JSON-safe dicts, sorted by start time."""
+        with self._lock:
+            spans = list(self._spans)
+        return sorted(spans, key=lambda s: s["start_s"])
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def dump_json(self, path: str) -> None:
+        """Write the timeline to ``path`` as a JSON array."""
+        with open(path, "w") as handle:
+            json.dump(self.timeline(), handle, indent=2)
+            handle.write("\n")
+
+
+_TRACER: Optional[Tracer] = None
+_TRACER_LOCK = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (created lazily, disabled by default)."""
+    global _TRACER
+    with _TRACER_LOCK:
+        if _TRACER is None:
+            _TRACER = Tracer()
+        return _TRACER
+
+
+def enable_tracing() -> Tracer:
+    """Switch the process-wide tracer on and return it."""
+    tracer = get_tracer()
+    tracer.enabled = True
+    return tracer
+
+
+def disable_tracing() -> None:
+    tracer = get_tracer()
+    tracer.enabled = False

@@ -38,6 +38,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.tracing import get_tracer
 
 #: Prefix of every segment this module creates; tests sweep
 #: ``/dev/shm`` for it to prove nothing leaks.
@@ -130,27 +132,34 @@ class SharedArrays:
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
         self._handles: Dict[str, SharedArrayHandle] = {}
         self.arrays: Dict[str, np.ndarray] = {}
+        registry = get_registry()
         try:
-            for key, array in arrays.items():
-                array = np.ascontiguousarray(array)
-                if array.size == 0:
-                    raise ValidationError(f"shared array {key!r} must not be empty")
-                shm = shared_memory.SharedMemory(
-                    create=True,
-                    size=array.nbytes,
-                    name=f"{SEGMENT_PREFIX}{os.getpid()}_{next(_SEGMENT_COUNTER)}",
-                )
-                view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
-                view[...] = array
-                view.flags.writeable = False
-                self._segments[key] = shm
-                self._handles[key] = SharedArrayHandle(
-                    name=shm.name, shape=tuple(array.shape), dtype=array.dtype.str
-                )
-                self.arrays[key] = view
+            with get_tracer().span("shm.broadcast", n_arrays=len(arrays)):
+                self._create(arrays, registry)
         except BaseException:
             self.unlink()
             raise
+
+    def _create(self, arrays: Mapping[str, np.ndarray], registry) -> None:
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            if array.size == 0:
+                raise ValidationError(f"shared array {key!r} must not be empty")
+            shm = shared_memory.SharedMemory(
+                create=True,
+                size=array.nbytes,
+                name=f"{SEGMENT_PREFIX}{os.getpid()}_{next(_SEGMENT_COUNTER)}",
+            )
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+            view.flags.writeable = False
+            self._segments[key] = shm
+            self._handles[key] = SharedArrayHandle(
+                name=shm.name, shape=tuple(array.shape), dtype=array.dtype.str
+            )
+            self.arrays[key] = view
+            registry.counter("shm_broadcast_segments_total").inc()
+            registry.counter("shm_broadcast_bytes_total").inc(array.nbytes)
 
     @property
     def handles(self) -> Dict[str, SharedArrayHandle]:
@@ -251,7 +260,10 @@ class ShmArena:
         """Lease segments for ``arrays``, reusing cached identical bytes."""
         if not arrays:
             raise ValidationError("ShmArena.publish needs at least one array")
-        with self._lock:
+        registry = get_registry()
+        with self._lock, get_tracer().span(
+            "shm.arena_publish", n_arrays=len(arrays)
+        ):
             self._check_fork()
             digests: List[str] = []
             handles: Dict[str, SharedArrayHandle] = {}
@@ -263,6 +275,10 @@ class ShmArena:
                 entry = self._entries.get(digest)
                 if entry is None:
                     self.misses += 1
+                    registry.counter("shm_arena_misses_total").inc()
+                    registry.counter("shm_broadcast_bytes_total").inc(
+                        array.nbytes
+                    )
                     segment = shared_memory.SharedMemory(
                         create=True,
                         size=array.nbytes,
@@ -286,6 +302,7 @@ class ShmArena:
                     self._entries[digest] = entry
                 else:
                     self.hits += 1
+                    registry.counter("shm_arena_hits_total").inc()
                 entry.refs += 1
                 digests.append(digest)
                 handles[key] = entry.handle
@@ -324,14 +341,24 @@ class ShmArena:
         return 1
 
     def stats(self) -> Dict[str, int]:
-        """Cache diagnostics: entry count, hit/miss counters."""
+        """Cache diagnostics: entry count, hit/miss counters.
+
+        The gauges mirror into the process-wide metrics registry
+        (``shm_arena_entries``/``shm_arena_leased``); the hit/miss
+        counters already live there as ``shm_arena_*_total``, updated
+        at publish time.
+        """
         with self._lock:
-            return {
+            stats = {
                 "entries": len(self._entries),
                 "leased": sum(1 for e in self._entries.values() if e.refs > 0),
                 "hits": self.hits,
                 "misses": self.misses,
             }
+        registry = get_registry()
+        registry.gauge("shm_arena_entries").set(stats["entries"])
+        registry.gauge("shm_arena_leased").set(stats["leased"])
+        return stats
 
     def _check_fork(self) -> None:
         # A forked child inherits the entry table but not the unlink

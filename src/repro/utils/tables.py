@@ -50,14 +50,3 @@ def render_table(
     lines.append(sep)
     lines.extend(fmt_line(row) for row in str_rows)
     return "\n".join(lines)
-
-
-def print_table(
-    headers: Sequence[str],
-    rows: Iterable[Sequence[Cell]],
-    title: str = "",
-    precision: int = 2,
-) -> None:
-    """Print :func:`render_table` output followed by a blank line."""
-    print(render_table(headers, rows, title=title, precision=precision))
-    print()

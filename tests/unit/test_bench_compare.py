@@ -108,7 +108,7 @@ class TestMainGate:
         monkeypatch.setattr(
             run_bench,
             "run",
-            lambda label, quick, tune_jobs: {
+            lambda label, quick, tune_jobs, trace_out=None: {
                 "label": label,
                 "fit_M400_N20_K8_r2_s": 1.0,
             },
@@ -132,7 +132,7 @@ class TestMainGate:
         monkeypatch.setattr(
             run_bench,
             "run",
-            lambda label, quick, tune_jobs: {
+            lambda label, quick, tune_jobs, trace_out=None: {
                 "label": label,
                 "fit_M400_N20_K8_r2_s": 1.0,
             },
@@ -148,7 +148,7 @@ class TestMainGate:
         self, run_bench, tmp_path, monkeypatch
     ):
         monkeypatch.setattr(
-            run_bench, "run", lambda label, quick, tune_jobs: {"label": label}
+            run_bench, "run", lambda label, quick, tune_jobs, trace_out=None: {"label": label}
         )
         argv = [
             "run_bench.py", "--out", str(tmp_path / "out.json"),
@@ -208,7 +208,7 @@ class TestSelfCompareGate:
         monkeypatch.setattr(
             run_bench,
             "run",
-            lambda label, quick, tune_jobs: {
+            lambda label, quick, tune_jobs, trace_out=None: {
                 "label": label,
                 "fit_M400_N20_K8_r2_s": 1.0,  # 100x regression
             },

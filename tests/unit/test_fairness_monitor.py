@@ -1,0 +1,139 @@
+"""Unit tests for the serving-side fairness drift monitor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.telemetry.fairness import FairnessMonitor
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _feed(monitor, rng, n, *, rate_a=0.5, rate_b=0.5, shift=0.0):
+    """Observe n records: 2 informative cols + 1 protected col."""
+    X = rng.normal(size=(n, 3)) + shift
+    groups = rng.integers(0, 2, size=n)
+    decisions = np.where(
+        groups == 0,
+        (rng.random(n) < rate_a).astype(float),
+        (rng.random(n) < rate_b).astype(float),
+    )
+    monitor.observe(X, groups, decisions)
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        FairnessMonitor([2], window=1)
+    with pytest.raises(ValidationError):
+        FairnessMonitor([2], k=0)
+    with pytest.raises(ValidationError):
+        FairnessMonitor([2], min_records=1)
+    with pytest.raises(ValidationError):
+        FairnessMonitor([2], check_every=0)
+    monitor = FairnessMonitor([2])
+    with pytest.raises(ValidationError):
+        monitor.observe(np.zeros((3, 3)), [0, 1], [1.0, 0.0, 1.0])
+
+
+def test_small_window_reports_no_consistency():
+    monitor = FairnessMonitor([2], k=10)
+    monitor.observe(np.zeros((3, 3)), [0, 1, 0], [1.0, 0.0, 1.0])
+    metrics = monitor.metrics()
+    assert metrics["window_records"] == 3
+    assert metrics["consistency"] is None
+    assert set(metrics["decision_rates"]) == {"0", "1"}
+
+
+def test_baseline_freezes_and_stable_stream_does_not_drift():
+    rng = np.random.default_rng(0)
+    monitor = FairnessMonitor([2], window=256, min_records=50, check_every=10_000)
+    _feed(monitor, rng, 100)
+    first = monitor.metrics()
+    assert first["baseline"] is not None
+    assert first["baseline"]["consistency"] is not None
+    _feed(monitor, rng, 100)
+    second = monitor.metrics()
+    assert second["baseline"] == first["baseline"]  # frozen
+    assert not second["drift"]["any"]
+
+
+def test_rate_drift_on_shifted_stream():
+    rng = np.random.default_rng(1)
+    monitor = FairnessMonitor(
+        [2], window=200, min_records=50, rate_gap_shift=0.15, check_every=10_000
+    )
+    _feed(monitor, rng, 200, rate_a=0.5, rate_b=0.5)
+    assert not monitor.metrics()["drift"]["rate_drift"]
+    # group 1's approval rate collapses: the gap widens far past baseline
+    _feed(monitor, rng, 200, rate_a=0.9, rate_b=0.1)
+    metrics = monitor.metrics()
+    assert metrics["drift"]["rate_drift"]
+    assert metrics["drift"]["any"]
+    assert monitor.drifting()
+
+
+def test_consistency_drift_on_decision_noise():
+    rng = np.random.default_rng(2)
+    monitor = FairnessMonitor(
+        [1], window=150, k=5, min_records=50, consistency_drop=0.10,
+        check_every=10_000,
+    )
+    # decisions perfectly determined by the first feature -> consistency high
+    X = rng.normal(size=(150, 2))
+    decisions = (X[:, 0] > 0).astype(float)
+    monitor.observe(X, np.zeros(150, dtype=int), decisions)
+    base = monitor.metrics()
+    assert base["baseline"]["consistency"] > 0.8
+    # decisions become coin flips over the same features
+    X2 = rng.normal(size=(150, 2))
+    monitor.observe(X2, np.zeros(150, dtype=int), rng.integers(0, 2, 150))
+    metrics = monitor.metrics()
+    assert metrics["consistency"] < base["baseline"]["consistency"]
+    assert metrics["drift"]["consistency_drift"]
+
+
+def test_drift_flags_is_cache_only():
+    monitor = FairnessMonitor([2])
+    # never computed -> default-false flags, no O(n^2) work
+    assert monitor.drift_flags() == {
+        "consistency_drift": False,
+        "rate_drift": False,
+        "any": False,
+    }
+
+
+def test_observe_auto_refreshes_every_check_every():
+    rng = np.random.default_rng(3)
+    monitor = FairnessMonitor([2], min_records=10, check_every=64)
+    _feed(monitor, rng, 64)
+    # observe() crossed the check interval, so the cache is warm
+    assert monitor._cached is not None
+    assert monitor.drift_flags()["any"] is False
+
+
+def test_gauges_published_to_registry():
+    rng = np.random.default_rng(4)
+    registry = MetricsRegistry()
+    monitor = FairnessMonitor(
+        [2], min_records=20, check_every=10_000, registry=registry
+    )
+    _feed(monitor, rng, 100)
+    monitor.metrics()
+    snapshot = registry.snapshot()
+    assert snapshot["gauges"]["fairness_window_records"] == 100.0
+    assert "fairness_consistency" in snapshot["gauges"]
+    assert snapshot["gauges"]["fairness_drift"] == 0.0
+    assert any(
+        key.startswith("fairness_decision_rate|group=")
+        for key in snapshot["gauges"]
+    )
+
+
+def test_reset_baseline():
+    rng = np.random.default_rng(5)
+    monitor = FairnessMonitor([2], min_records=20, check_every=10_000)
+    _feed(monitor, rng, 50)
+    assert monitor.metrics()["baseline"] is not None
+    monitor.reset_baseline()
+    _feed(monitor, rng, 1)
+    assert monitor.metrics()["baseline"] is not None  # refreezes on full window
+    assert monitor.n_seen == 51

@@ -1,0 +1,44 @@
+"""Library code must log, not print.
+
+The CLI is the process's human interface and owns stdout; everything
+under ``src/repro`` besides ``cli.py`` is library code and must route
+diagnostics through :mod:`repro.telemetry.logs` so that embedding
+applications (and the serving daemon) stay quiet by default.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+ALLOWED = {SRC / "cli.py"}
+
+
+def _print_calls(path: pathlib.Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield node.lineno
+
+
+def test_no_print_outside_cli():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        offenders.extend(f"{path.relative_to(SRC)}:{line}" for line in _print_calls(path))
+    assert not offenders, (
+        "bare print() in library code (use repro.telemetry.logs): "
+        + ", ".join(offenders)
+    )
+
+
+def test_lint_scope_is_nonempty():
+    # Guard against the lint silently passing because the path moved.
+    files = list(SRC.rglob("*.py"))
+    assert len(files) > 10
+    assert (SRC / "cli.py").is_file()

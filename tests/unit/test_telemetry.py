@@ -1,0 +1,357 @@
+"""Unit tests for the telemetry package (metrics, tracing, logs)."""
+
+import io
+import json
+import logging
+import math
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.telemetry.logs import configure_logging, get_logger
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    parse_metric_key,
+    prometheus_text,
+    snapshot_diff,
+)
+from repro.telemetry.tracing import Tracer, disable_tracing, enable_tracing, get_tracer
+
+
+# ----------------------------------------------------------------------
+# counters / gauges / histograms
+
+
+def test_counter_monotonic():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits_total")
+    counter.inc()
+    counter.inc(2.5)
+    assert registry.value("hits_total") == 3.5
+    with pytest.raises(ValidationError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("pool_workers")
+    gauge.set(4)
+    gauge.inc()
+    gauge.dec(2)
+    assert registry.value("pool_workers") == 3.0
+
+
+def test_labeled_instruments_are_distinct():
+    registry = MetricsRegistry()
+    registry.counter("req_total", {"verb": "score"}).inc()
+    registry.counter("req_total", {"verb": "rank"}).inc(2)
+    assert registry.value("req_total", {"verb": "score"}) == 1.0
+    assert registry.value("req_total", {"verb": "rank"}) == 2.0
+    # handles are stable: same (name, labels) -> same instrument
+    assert registry.counter("req_total", {"verb": "score"}) is registry.counter(
+        "req_total", {"verb": "score"}
+    )
+
+
+def test_metric_key_roundtrip():
+    assert parse_metric_key("plain") == ("plain", {})
+    name, labels = parse_metric_key("req_total|b=2|a=1")
+    assert name == "req_total"
+    assert labels == {"a": "1", "b": "2"}
+
+
+def test_histogram_quantiles_without_samples():
+    hist = Histogram(bounds=(0.001, 0.01, 0.1, 1.0))
+    assert math.isnan(hist.quantile(0.5))
+    for _ in range(90):
+        hist.observe(0.005)
+    for _ in range(10):
+        hist.observe(0.5)
+    assert hist.count == 100
+    # p50 lands in the (0.001, 0.01] bucket, p99 in (0.1, 1.0]
+    assert 0.001 < hist.quantile(0.5) <= 0.01
+    assert 0.1 < hist.quantile(0.99) <= 1.0
+    # +Inf observations clamp to the last finite edge
+    hist2 = Histogram(bounds=(0.001, 0.01))
+    hist2.observe(5.0)
+    assert hist2.quantile(0.5) == 0.01
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValidationError):
+        Histogram(bounds=())
+    with pytest.raises(ValidationError):
+        Histogram(bounds=(1.0, 1.0))
+    with pytest.raises(ValidationError):
+        Histogram(bounds=(2.0, 1.0))
+
+
+def test_histogram_thread_safety():
+    hist = Histogram()
+
+    def work():
+        for _ in range(1000):
+            hist.observe(0.01)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert hist.count == 4000
+
+
+# ----------------------------------------------------------------------
+# snapshots: diff + merge
+
+
+def _sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("tasks_total").inc(3)
+    registry.counter("bytes_total", {"kind": "shm"}).inc(1024)
+    registry.gauge("workers").set(2)
+    hist = registry.histogram("latency_seconds")
+    for value in (0.001, 0.02, 0.3):
+        hist.observe(value)
+    return registry
+
+
+def test_snapshot_is_json_safe():
+    snapshot = _sample_registry().snapshot()
+    json.dumps(snapshot)  # must not raise
+    assert snapshot["counters"]["tasks_total"] == 3.0
+    assert snapshot["histograms"]["latency_seconds"]["count"] == 3
+
+
+def test_snapshot_diff_and_merge_roundtrip():
+    registry = _sample_registry()
+    before = registry.snapshot()
+    registry.counter("tasks_total").inc(2)
+    registry.gauge("workers").set(5)
+    registry.histogram("latency_seconds").observe(0.9)
+    after = registry.snapshot()
+
+    delta = snapshot_diff(after, before)
+    assert delta["counters"] == {"tasks_total": 2.0}
+    assert delta["gauges"] == {"workers": 5.0}
+    assert delta["histograms"]["latency_seconds"]["count"] == 1
+
+    # before + delta == after
+    rebuilt = MetricsRegistry()
+    rebuilt.merge(before)
+    rebuilt.merge(delta)
+    assert rebuilt.snapshot() == after
+
+
+def test_snapshot_diff_empty_when_unchanged():
+    snapshot = _sample_registry().snapshot()
+    assert snapshot_diff(snapshot, snapshot) == {}
+    assert snapshot_diff({}, None) == {}
+
+
+def test_merge_snapshots_adds_counters_across_workers():
+    registries = [_sample_registry() for _ in range(3)]
+    merged = merge_snapshots([r.snapshot() for r in registries])
+    assert merged["counters"]["tasks_total"] == 9.0
+    assert merged["histograms"]["latency_seconds"]["count"] == 9
+
+
+def test_merge_rejects_mismatched_histogram_bounds():
+    a = MetricsRegistry()
+    a.histogram("h", bounds=(0.1, 1.0)).observe(0.5)
+    b = MetricsRegistry()
+    b.histogram("h", bounds=(0.2, 2.0)).observe(0.5)
+    with pytest.raises(ValidationError):
+        a.merge(b.snapshot())
+
+
+def test_registry_reset():
+    registry = _sample_registry()
+    registry.reset()
+    snapshot = registry.snapshot()
+    assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_get_registry_is_singleton():
+    assert get_registry() is get_registry()
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+
+
+def test_prometheus_text_format():
+    text = _sample_registry().to_prometheus()
+    lines = text.strip().split("\n")
+    assert "# TYPE tasks_total counter" in lines
+    assert "tasks_total 3" in lines
+    assert 'bytes_total{kind="shm"} 1024' in lines
+    assert "# TYPE workers gauge" in lines
+    assert "workers 2" in lines
+    assert "# TYPE latency_seconds histogram" in lines
+    assert 'latency_seconds_bucket{le="+Inf"} 3' in lines
+    assert "latency_seconds_count 3" in lines
+    assert text.endswith("\n")
+    # buckets are cumulative
+    counts = [
+        int(line.rsplit(" ", 1)[1])
+        for line in lines
+        if line.startswith("latency_seconds_bucket")
+    ]
+    assert counts == sorted(counts)
+
+
+def test_prometheus_text_merges_multiple_snapshots():
+    a = MetricsRegistry()
+    a.counter("serving_requests_total").inc(2)
+    b = MetricsRegistry()
+    b.counter("fit_total").inc(1)
+    text = prometheus_text(a.snapshot(), b.snapshot())
+    assert "serving_requests_total 2" in text
+    assert "fit_total 1" in text
+
+
+# ----------------------------------------------------------------------
+# tracing
+
+
+def test_tracer_disabled_is_noop():
+    tracer = Tracer()
+    with tracer.span("anything", key="value"):
+        pass
+    assert tracer.timeline() == []
+
+
+def test_tracer_records_nested_spans():
+    tracer = Tracer()
+    tracer.enabled = True
+    with tracer.span("outer", n=1):
+        with tracer.span("inner"):
+            pass
+    timeline = tracer.timeline()
+    assert [s["name"] for s in timeline] == ["inner", "outer"] or [
+        s["name"] for s in timeline
+    ] == ["outer", "inner"]
+    by_name = {s["name"]: s for s in timeline}
+    assert by_name["inner"]["parent"] == "outer"
+    assert by_name["inner"]["depth"] == 1
+    assert by_name["outer"]["depth"] == 0
+    assert by_name["outer"]["meta"] == {"n": 1}
+    assert by_name["inner"]["duration_s"] >= 0.0
+    # timeline is sorted by start time
+    starts = [s["start_s"] for s in tracer.timeline()]
+    assert starts == sorted(starts)
+
+
+def test_tracer_drain_and_ingest():
+    worker = Tracer()
+    worker.enabled = True
+    with worker.span("task"):
+        pass
+    shipped = worker.drain()
+    assert worker.timeline() == []
+    parent = Tracer()
+    parent.ingest(shipped)
+    assert [s["name"] for s in parent.timeline()] == ["task"]
+
+
+def test_tracer_bounded():
+    tracer = Tracer(max_spans=5)
+    tracer.enabled = True
+    for i in range(10):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer.timeline()) == 5
+
+
+def test_tracer_dump_json(tmp_path):
+    tracer = Tracer()
+    tracer.enabled = True
+    with tracer.span("phase"):
+        pass
+    path = tmp_path / "trace.json"
+    tracer.dump_json(str(path))
+    timeline = json.loads(path.read_text())
+    assert timeline[0]["name"] == "phase"
+
+
+def test_enable_disable_tracing_toggle_singleton():
+    tracer = enable_tracing()
+    try:
+        assert tracer is get_tracer()
+        assert tracer.enabled
+    finally:
+        disable_tracing()
+    assert not get_tracer().enabled
+
+
+# ----------------------------------------------------------------------
+# logging
+
+
+def _fresh_logging():
+    root = logging.getLogger("repro")
+    for handler in [
+        h for h in root.handlers if getattr(h, "_repro_handler", False)
+    ]:
+        root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+def test_configure_logging_json_lifts_extras():
+    stream = io.StringIO()
+    try:
+        configure_logging("INFO", json_format=True, stream=stream)
+        get_logger("unit").info("served", extra={"path": "/v1/score", "status": 200})
+        record = json.loads(stream.getvalue().strip())
+        assert record["msg"] == "served"
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.unit"
+        assert record["path"] == "/v1/score"
+        assert record["status"] == 200
+    finally:
+        _fresh_logging()
+
+
+def test_configure_logging_line_format_appends_extras():
+    stream = io.StringIO()
+    try:
+        configure_logging("INFO", stream=stream)
+        get_logger("unit").info("hello", extra={"k": "v"})
+        line = stream.getvalue().strip()
+        assert "repro.unit: hello" in line
+        assert "k=v" in line
+    finally:
+        _fresh_logging()
+
+
+def test_configure_logging_idempotent():
+    stream = io.StringIO()
+    try:
+        configure_logging("INFO", stream=stream)
+        configure_logging("INFO", stream=stream)
+        get_logger("unit").info("once")
+        assert stream.getvalue().count("once") == 1
+    finally:
+        _fresh_logging()
+
+
+def test_configure_logging_rejects_unknown_level():
+    with pytest.raises(ValueError):
+        configure_logging("LOUD")
+
+
+def test_unconfigured_library_is_quiet(capsys):
+    get_logger("unit").warning("should not reach stderr by default")
+    captured = capsys.readouterr()
+    assert captured.err == ""
+
+
+def test_get_logger_namespacing():
+    assert get_logger("core").name == "repro.core"
+    assert get_logger("repro.core").name == "repro.core"
