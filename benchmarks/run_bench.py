@@ -37,6 +37,12 @@ measurement of ROADMAP residual (a): the quick tuning grid is run
 exhaustively at ``n_jobs=1`` and ``n_jobs=2`` and the measured
 speedup is appended as its own entry — observed scaling on the
 runner's real cores, not asserted scaling.
+
+``--load`` replaces the full bench with the serving-tier load rows
+only (:mod:`bench_load`): sustained RPS at ``workers=1`` vs
+``workers=2`` over real sockets, with two blue/green reloads fired
+mid-traffic.  The full bench includes the same rows, so CI smoke runs
+gate them either way.
 """
 
 from __future__ import annotations
@@ -283,6 +289,20 @@ def bench_serving(repeats: int) -> dict:
         "serving_transform_1rec_p50_s": latencies[len(latencies) // 2],
         "serving_transform_1rec_p99_s": latencies[int(len(latencies) * 0.99)],
     }
+
+
+def bench_load_rows(quick: bool) -> dict:
+    """Serving-tier sustained-RPS rows (PR 7), from :mod:`bench_load`.
+
+    Lazily imported by path so this module stays loadable standalone
+    (the gate's unit tests exec it outside a package context).
+    """
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import bench_load
+
+    return bench_load.bench_workers(quick=quick)
 
 
 # ----------------------------------------------------------------------
@@ -544,6 +564,10 @@ GATE_LOWER_IS_BETTER = (
     "transform_M2000_N40_K10_s",
     "serving_transform_1rec_p50_s",
     "serving_transform_1rec_p99_s",
+    # Load rows keep a quick-identical shape (same clients/batch; only
+    # the measured duration differs), so they gate like the others.
+    "load_workers1_p50_s",
+    "load_workers2_p50_s",
 )
 
 #: Correctness flags that must never flip to false once recorded true
@@ -557,6 +581,12 @@ GATE_MUST_STAY_TRUE = (
     "jobs_agree_optimal",
     "fit_warm_pool_parity",
     "telemetry_overhead_ok",
+    # Serving-tier scaling flags: thresholds are cpu-count-conditioned
+    # inside bench_load (strict on the 2-core CI runner), so the flag
+    # itself is machine-portable and must stay true everywhere.
+    "workers2_rps_speedup_ok",
+    "workers2_p99_ok",
+    "reload_under_load_ok",
 )
 
 
@@ -617,6 +647,7 @@ def run(label: str, quick: bool, tune_jobs: int, trace_out=None) -> dict:
     entry.update(bench_fit(repeats))
     entry.update(bench_transform(repeats))
     entry.update(bench_serving(repeats))
+    entry.update(bench_load_rows(quick))
     entry.update(bench_telemetry(repeats, trace_out=trace_out))
     entry.update(bench_tuning(tune_jobs, quick=quick))
     return entry
@@ -650,6 +681,15 @@ def main() -> None:
         help=(
             "only measure tuning wall-clock at n_jobs=1 vs n_jobs=2 "
             "and append the observed multi-core scaling entry"
+        ),
+    )
+    parser.add_argument(
+        "--load",
+        action="store_true",
+        help=(
+            "only measure the serving tier under concurrent HTTP load "
+            "(workers=1 vs workers=2 + blue/green reload) and append "
+            "the observed scaling entry"
         ),
     )
     parser.add_argument(
@@ -687,7 +727,7 @@ def main() -> None:
             raise SystemExit(2)
         baseline_doc = json.loads(baseline_path.read_text())
 
-    if args.scaling:
+    if args.scaling or args.load:
         entry = {
             "label": args.label,
             "quick": args.quick,
@@ -695,7 +735,10 @@ def main() -> None:
             "numpy": np.__version__,
             "machine": platform.machine(),
         }
-        entry.update(bench_tune_scaling(args.quick))
+        if args.scaling:
+            entry.update(bench_tune_scaling(args.quick))
+        if args.load:
+            entry.update(bench_load_rows(args.quick))
     else:
         entry = run(args.label, args.quick, args.tune_jobs, trace_out=args.trace_out)
     path = Path(args.out)
@@ -722,6 +765,11 @@ def main() -> None:
             f"tuning scaling ({entry['scaling_grid_points']}-point grid, "
             f"{entry['tuning_cpu_count']} cpus): {speedups}"
         )
+    if "load_workers1_rps" in entry:
+        import bench_load  # already on sys.path via bench_load_rows
+
+        bench_load.print_summary(entry)
+    if args.scaling or args.load:
         _gate_and_exit(args, entry, baseline_doc)
         return
     _print_summary(entry)

@@ -12,18 +12,30 @@ Three tours through the telemetry layer on one small served model:
    whose group-1 records score systematically lower; the sliding-window
    monitor widens its decision-rate gap past tolerance and raises the
    drift flag, visible in ``/v1/stats`` and in every ``decide``
-   response.
+   response;
+4. **per-worker series** — restart the service with ``workers=2``
+   (forked engine workers sharing the model via shm) and scrape the
+   same ``/v1/metrics`` endpoint: every worker's counters arrive under
+   a ``worker="<i>"`` label, merged into one exposition by the
+   dispatcher, with the unlabelled totals recoverable by summing.
 
 Run:  python examples/observability_quickstart.py
 """
 
 import json
+import tempfile
 import urllib.request
 
 import numpy as np
 
 from repro.data.compas import generate_compas
-from repro.serving import DecisionService, InferenceEngine, fit_serving_pipeline
+from repro.serving import (
+    DecisionService,
+    InferenceEngine,
+    fit_serving_pipeline,
+    save_artifact,
+    serve_artifact,
+)
 from repro.telemetry.logs import configure_logging
 from repro.telemetry.tracing import disable_tracing, enable_tracing
 
@@ -111,6 +123,34 @@ def main():
         print(f"  baseline gap:   {fairness['baseline']['rate_gap']:.3f}")
         print(f"  drift flags:    {fairness['drift']}")
         print(f"  decide response carried: {answer['fairness_drift']}")
+
+    # --- 4. per-worker series from the multi-process tier --------------
+    # Two forked engine workers attach the same shm-published model;
+    # each response ships the worker's metrics delta back to the
+    # parent, which relabels it with worker="<i>" — so one scrape
+    # shows who actually served what.
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_dir = save_artifact(f"{tmp}/compas", artifact)
+        service = serve_artifact(artifact_dir, port=0, workers=2)
+        service.start()
+        try:
+            host, port = service.address
+            for lo in range(0, 128, 16):  # spread requests over workers
+                http_post(
+                    host,
+                    port,
+                    "/v1/score",
+                    {"records": dataset.X[lo : lo + 16].tolist()},
+                )
+            exposition = http_get(host, port, "/v1/metrics")
+            print("\nper-worker scrape (workers=2):")
+            for line in exposition.splitlines():
+                if line.startswith("serving_requests_total{"):
+                    print(f"  {line}")
+            stats = http_get(host, port, "/v1/stats")
+            print(f"  /v1/stats workers block: {stats['workers']}")
+        finally:
+            service.stop()
 
 
 if __name__ == "__main__":

@@ -6,7 +6,10 @@ pipeline is packaged as a versioned directory artifact
 :class:`~repro.serving.engine.InferenceEngine` (micro-batching, LRU
 caching, chunked evaluation), and exposed either in process
 (:class:`~repro.serving.client.InProcessClient`) or over a stdlib JSON
-HTTP API (:class:`~repro.serving.service.DecisionService`).
+HTTP API (:class:`~repro.serving.service.DecisionService`).  For
+multi-core boxes, :class:`~repro.serving.dispatcher.EngineDispatcher`
+fans the same API out to N forked engine workers that share the model
+read-only through the shm arena (``serve_artifact(..., workers=N)``).
 
 Typical flow::
 
@@ -26,6 +29,7 @@ from repro.serving.artifacts import (
     save_artifact,
 )
 from repro.serving.client import HTTPClient, InProcessClient, ServiceError
+from repro.serving.dispatcher import DispatchError, EngineDispatcher
 from repro.serving.engine import InferenceEngine, LRUCache, MicroBatcher
 from repro.serving.fit import fit_serving_pipeline
 from repro.serving.service import DecisionService, RequestError, dispatch, serve_artifact
@@ -40,6 +44,8 @@ __all__ = [
     "InferenceEngine",
     "LRUCache",
     "MicroBatcher",
+    "EngineDispatcher",
+    "DispatchError",
     "DecisionService",
     "RequestError",
     "ServiceError",

@@ -121,13 +121,17 @@ def _model_manifest(model: IFair) -> Dict:
     return manifest
 
 
-def save_artifact(path: str, artifact: ServingArtifact) -> str:
-    """Write ``artifact`` to directory ``path``; returns the path.
+def artifact_payload(artifact: ServingArtifact) -> "tuple[Dict, Dict[str, np.ndarray]]":
+    """Split ``artifact`` into its (manifest, arrays) wire form.
 
-    The directory is created if needed.  Existing manifest/array files
-    are overwritten, so a path can be re-used across refits.
+    The manifest is the JSON-safe configuration half (without the
+    ``arrays_sha256`` digest, which is a property of the serialized npz
+    payload and is stamped by :func:`save_artifact`); the arrays dict is
+    the float payload half.  ``save_artifact`` writes both to disk, and
+    the serving dispatcher publishes the arrays through the shared-memory
+    arena so N worker processes rebuild the same artifact without ever
+    pickling the model — :func:`assemble_artifact` is the inverse.
     """
-    os.makedirs(path, exist_ok=True)
     arrays: Dict[str, np.ndarray] = {
         "model.prototypes": artifact.model.prototypes_,
         "model.alpha": artifact.model.alpha_,
@@ -179,7 +183,17 @@ def save_artifact(path: str, artifact: ServingArtifact) -> str:
                 for g, t in artifact.thresholds.thresholds_.items()
             },
         }
+    return manifest, arrays
 
+
+def save_artifact(path: str, artifact: ServingArtifact) -> str:
+    """Write ``artifact`` to directory ``path``; returns the path.
+
+    The directory is created if needed.  Existing manifest/array files
+    are overwritten, so a path can be re-used across refits.
+    """
+    os.makedirs(path, exist_ok=True)
+    manifest, arrays = artifact_payload(artifact)
     buffer = io.BytesIO()
     np.savez(buffer, **arrays)
     payload = buffer.getvalue()
@@ -326,10 +340,20 @@ def _load_thresholds(spec: Dict) -> GroupThresholdAdjuster:
     return adjuster
 
 
-def load_artifact(path: str) -> ServingArtifact:
-    """Read, validate, and reconstruct an artifact directory."""
-    manifest = _read_manifest(path)
-    arrays = _read_arrays(path, manifest)
+def assemble_artifact(
+    manifest: Dict,
+    arrays: Dict[str, np.ndarray],
+    checksum: Optional[str] = None,
+) -> ServingArtifact:
+    """Reconstruct a :class:`ServingArtifact` from its wire form.
+
+    Inverse of :func:`artifact_payload`: validates component manifests
+    and cross-component shape consistency, then rebuilds the fitted
+    estimator objects.  ``arrays`` may be backed by read-only
+    shared-memory views — nothing here writes into them.  ``checksum``
+    is recorded verbatim (callers that read from disk pass the verified
+    ``arrays_sha256``; in-memory callers may pass ``None``).
+    """
     model = _load_model(manifest, arrays)
     if "protected_indices" not in arrays:
         raise ArtifactError("array payload missing 'protected_indices'")
@@ -369,5 +393,14 @@ def load_artifact(path: str) -> ServingArtifact:
         thresholds=thresholds,
         feature_names=list(manifest.get("feature_names", [])),
         metadata=dict(manifest.get("metadata", {})),
-        checksum=str(manifest["arrays_sha256"]),
+        checksum=checksum,
+    )
+
+
+def load_artifact(path: str) -> ServingArtifact:
+    """Read, validate, and reconstruct an artifact directory."""
+    manifest = _read_manifest(path)
+    arrays = _read_arrays(path, manifest)
+    return assemble_artifact(
+        manifest, arrays, checksum=str(manifest["arrays_sha256"])
     )

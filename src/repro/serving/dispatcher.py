@@ -1,0 +1,648 @@
+"""Multi-process serving tier: shm-backed engine workers, thin routers.
+
+One :class:`~repro.serving.engine.InferenceEngine` in one process is
+GIL-bound: ``ThreadingHTTPServer`` accepts concurrent connections, but
+every model pass serialises on the interpreter lock, so adding CPU
+cores buys nothing.  :class:`EngineDispatcher` breaks that ceiling with
+the same ingredients the fit-time executor uses
+(:mod:`repro.core.executor`):
+
+* **N forked worker processes**, each owning a full engine (its own
+  micro-batcher, representation cache, metrics registry, and fairness
+  monitor), connected to the parent by one duplex pipe each;
+* **shared-memory model broadcast** — the artifact's float arrays are
+  published once through the content-addressed
+  :class:`~repro.utils.shm.ShmArena` and workers attach read-only
+  views, so the model is never pickled per worker and N workers map
+  the same physical pages;
+* **crash-isolated respawn** — a worker that dies mid-request is
+  detected by the broken pipe, respawned from the current artifact
+  spec, and the request retried once before the caller sees a 503;
+* **telemetry deltas** — each response ships the worker's registry
+  delta and trace spans back on the pipe (the PR 6 snapshot-delta
+  pattern); the parent folds them into one registry under a
+  ``worker="<i>"`` label, so ``GET /v1/metrics`` stays in-process and
+  still exposes per-worker series.
+
+HTTP handler threads stay thin: ``do_POST`` hands the *raw body bytes*
+to :meth:`EngineDispatcher.handle_http`, which picks the least-loaded
+worker (round-robin tie-break) and blocks on that worker's pipe; JSON
+decode/encode happens inside the worker, off the parent's GIL.  GET
+endpoints never cross a pipe.
+
+Blue/green model swap: :meth:`EngineDispatcher.reload` loads a new
+artifact directory (checksum-verified by the manifest reader),
+publishes its arrays to the arena, then flips workers **one at a
+time** under each worker's request lock — capacity never drops to
+zero, and holding the lock means the worker's in-flight request on the
+old version completes before it flips.  The old arena lease is
+released only after every worker acknowledged the new version.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ReproError, ValidationError
+from repro.core.executor import _process_context
+from repro.serving.artifacts import (
+    ServingArtifact,
+    artifact_payload,
+    assemble_artifact,
+    load_artifact,
+)
+from repro.serving.engine import InferenceEngine, serving_endpoints
+from repro.telemetry.logs import get_logger
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    parse_metric_key,
+    prometheus_text,
+    relabel_snapshot,
+    snapshot_diff,
+)
+from repro.telemetry.tracing import get_tracer
+
+_DISPATCH_LOG = get_logger("serving.dispatcher")
+
+_JOIN_TIMEOUT_S = 5.0
+
+
+class DispatchError(ReproError):
+    """The dispatcher could not answer (worker loss, stopped tier)."""
+
+    def __init__(self, message: str, status: int = 503):
+        super().__init__(message)
+        self.status = status
+
+
+# ----------------------------------------------------------------------
+# wire format
+
+
+@dataclass(frozen=True)
+class _ArtifactSpec:
+    """Picklable recipe a worker rebuilds its engine from.
+
+    ``handles`` point at arena segments (the heavy float payload);
+    ``inline`` carries the zero-size arrays the arena refuses to map
+    (e.g. ``protected_indices`` of an all-numeric pipeline).  The
+    manifest is the JSON half of :func:`artifact_payload`.
+    """
+
+    manifest: Dict
+    handles: Dict
+    inline: Dict = field(default_factory=dict)
+    checksum: Optional[str] = None
+
+
+def _spec_arrays(spec: _ArtifactSpec, attachments: List) -> Dict[str, np.ndarray]:
+    from repro.utils.shm import attach
+
+    arrays: Dict[str, np.ndarray] = dict(spec.inline)
+    if spec.handles:
+        attached = attach(spec.handles)
+        # Keep the mapping alive for the worker's lifetime: the engine
+        # holds views into these pages, and (as in the executor) the
+        # mappings die with the process rather than being torn down
+        # under live views.
+        attachments.append(attached)
+        arrays.update(attached.arrays)
+    return arrays
+
+
+def _build_engine(
+    spec: _ArtifactSpec, engine_kwargs: Dict, attachments: List
+) -> InferenceEngine:
+    artifact = assemble_artifact(
+        spec.manifest, _spec_arrays(spec, attachments), checksum=spec.checksum
+    )
+    return InferenceEngine(artifact, **engine_kwargs)
+
+
+# ----------------------------------------------------------------------
+# worker process
+
+
+def _answer(engine: InferenceEngine, path: str, raw: bytes) -> Tuple[int, bytes]:
+    """One POST request, JSON in / JSON out, entirely in this worker."""
+    from repro.serving.service import RequestError, dispatch
+
+    try:
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return 400, json.dumps(
+            {"error": f"request body is not valid JSON: {exc}"}
+        ).encode("utf-8")
+    try:
+        body = dispatch(engine, "POST", path, payload)
+        status = 200
+    except RequestError as exc:
+        body, status = {"error": str(exc)}, exc.status
+    return status, json.dumps(body).encode("utf-8")
+
+
+def _serving_worker_main(spec, engine_kwargs, conn) -> None:
+    """Engine-worker loop: build from the spec, answer until ``None``.
+
+    Replies are ``(kind, a, b, telemetry)`` tuples where telemetry is
+    the executor-style ``(metrics_delta, spans)`` pair (or ``None``)
+    accumulated since the previous reply.
+    """
+    attachments: List = []
+    registry = get_registry()
+    tracer = get_tracer()
+    # Fork inherits the parent's registry contents and tracer buffer —
+    # re-baseline so only counts produced by this worker ship back.
+    tracer.clear()
+
+    engine: Optional[InferenceEngine] = None
+    error: Optional[str] = None
+    try:
+        engine = _build_engine(spec, engine_kwargs, attachments)
+    except BaseException as exc:  # surfaced per-request as a 503
+        error = f"worker failed to build engine: {exc}"
+
+    def combined():
+        parts = [registry.snapshot()]
+        if engine is not None:
+            parts.append(engine.registry.snapshot())
+        return merge_snapshots(parts)
+
+    shipped = combined()
+
+    def telemetry_delta():
+        nonlocal shipped
+        current = combined()
+        delta = snapshot_diff(current, shipped)
+        shipped = current
+        spans = tracer.drain() if tracer.enabled else []
+        if not delta and not spans:
+            return None
+        return (delta or None, spans or None)
+
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            kind = message[0]
+            if kind == "load":
+                try:
+                    fresh = _build_engine(message[1], engine_kwargs, attachments)
+                except BaseException as exc:
+                    # Old engine keeps serving; the parent aborts the flip.
+                    conn.send(
+                        ("load", False, f"reload failed in worker: {exc}",
+                         telemetry_delta())
+                    )
+                    continue
+                # Flush the old engine's remaining counters under its
+                # labels, then re-baseline on the fresh registry so the
+                # next delta never goes backwards.
+                final_delta = telemetry_delta()
+                engine, error = fresh, None
+                shipped = combined()
+                conn.send(("load", True, fresh.artifact.checksum, final_delta))
+                continue
+            path, raw = message[1], message[2]
+            if engine is None:
+                conn.send(
+                    ("http", 503, json.dumps({"error": error}).encode("utf-8"),
+                     telemetry_delta())
+                )
+                continue
+            status, body = _answer(engine, path, raw)
+            engine.registry.gauge("serving_cache_entries").set(len(engine._cache))
+            conn.send(("http", status, body, telemetry_delta()))
+    except (EOFError, OSError, KeyboardInterrupt):  # parent went away
+        pass
+    # Shared segments stay mapped until process exit (see _spec_arrays).
+
+
+# ----------------------------------------------------------------------
+# parent-side dispatcher
+
+
+class _Worker:
+    """One engine worker: process + pipe + request lock + load count."""
+
+    __slots__ = ("index", "process", "conn", "lock", "pending")
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.pending = 0
+
+
+class EngineDispatcher:
+    """Fan requests out to N forked engine workers sharing one model.
+
+    Duck-types the :class:`~repro.serving.engine.InferenceEngine`
+    surface that :func:`repro.serving.service.dispatch` touches
+    (``artifact``, ``uptime_s``, ``endpoints``, ``stats``,
+    ``metrics_text``, plus the transform/score/rank/decide verbs), so
+    :class:`~repro.serving.service.DecisionService` and the in-process
+    client work unchanged against a multi-process tier.
+
+    Parameters mirror the engine's: ``batch_size`` / ``cache_size`` /
+    ``max_batch_delay`` apply *per worker*.
+    """
+
+    def __init__(
+        self,
+        artifact: ServingArtifact,
+        *,
+        n_workers: int = 2,
+        batch_size: int = 256,
+        cache_size: int = 4096,
+        max_batch_delay: float = 0.0,
+        max_retries: int = 1,
+    ):
+        if int(n_workers) < 1:
+            raise ValidationError("n_workers must be a positive integer")
+        self.artifact = artifact
+        self.n_workers = int(n_workers)
+        self.max_retries = int(max_retries)
+        self._engine_kwargs = dict(
+            batch_size=batch_size,
+            cache_size=cache_size,
+            max_batch_delay=max_batch_delay,
+        )
+        self.registry = MetricsRegistry()
+        self.started_at = time.time()
+        self._ctx = _process_context()
+        # Lock order (deadlock-free by construction): _admin_lock ->
+        # worker.lock; _pick_lock never nests with either.
+        self._admin_lock = threading.Lock()
+        self._pick_lock = threading.Lock()
+        self._rr = 0
+        self._stopped = False
+        self._lease = None
+        self._spec, self._lease = self._make_spec(artifact)
+        self._requests = self.registry.counter("serving_dispatch_requests_total")
+        self._respawns = self.registry.counter("serving_worker_respawns_total")
+        self._reloads = self.registry.counter("serving_reloads_total")
+        self._latency = self.registry.histogram("serving_dispatch_seconds")
+        try:
+            self._workers = [
+                self._spawn(index) for index in range(self.n_workers)
+            ]
+        except BaseException:
+            self.stop()
+            raise
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+
+    def _make_spec(self, artifact: ServingArtifact):
+        from repro.utils.shm import arena
+
+        manifest, arrays = artifact_payload(artifact)
+        shm_arrays = {k: v for k, v in arrays.items() if v.size}
+        inline = {k: np.asarray(v) for k, v in arrays.items() if not v.size}
+        lease = arena().publish(shm_arrays) if shm_arrays else None
+        spec = _ArtifactSpec(
+            manifest=manifest,
+            handles=dict(lease.handles) if lease is not None else {},
+            inline=inline,
+            checksum=artifact.checksum,
+        )
+        return spec, lease
+
+    def _spawn(self, index: int, spec: Optional[_ArtifactSpec] = None) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_serving_worker_main,
+            args=(spec or self._spec, dict(self._engine_kwargs), child_conn),
+            daemon=True,
+            name=f"repro-serving-worker-{index}",
+        )
+        process.start()
+        child_conn.close()  # the worker's end lives in the worker
+        return _Worker(index, process, parent_conn)
+
+    def _respawn_locked(
+        self, worker: _Worker, spec: Optional[_ArtifactSpec] = None
+    ) -> None:
+        """Replace a dead worker's process+pipe; caller holds its lock."""
+        self._respawns.inc()
+        _DISPATCH_LOG.warning(
+            "engine worker %d died; respawning", worker.index,
+            extra={"worker": worker.index},
+        )
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=_JOIN_TIMEOUT_S)
+        if worker.process.is_alive():  # wedged, not dead: force it out
+            worker.process.terminate()
+            worker.process.join(timeout=_JOIN_TIMEOUT_S)
+        replacement = self._spawn(worker.index, spec)
+        worker.process, worker.conn = replacement.process, replacement.conn
+
+    # ------------------------------------------------------------------
+    # request path
+
+    def _pick(self) -> _Worker:
+        with self._pick_lock:
+            if self._stopped or not self._workers:
+                raise DispatchError("serving dispatcher is stopped")
+            n = len(self._workers)
+            start = self._rr
+            self._rr = (self._rr + 1) % n
+            # Least-loaded steal with a rotating tie-break: min() keeps
+            # the first of equals, and the rotation makes "first" fair.
+            worker = min(
+                (self._workers[(start + i) % n] for i in range(n)),
+                key=lambda w: w.pending,
+            )
+            worker.pending += 1
+            return worker
+
+    def handle_http(self, path: str, raw: bytes) -> Tuple[int, bytes]:
+        """Route one POST body to a worker; returns (status, json bytes).
+
+        The worker does all JSON and model work; this thread only
+        blocks on the pipe.  A worker death is answered by one respawn
+        + retry before surfacing a 503 :class:`DispatchError`.
+        """
+        start = time.perf_counter()
+        worker = self._pick()
+        try:
+            for _ in range(self.max_retries + 1):
+                with worker.lock:
+                    if self._stopped:
+                        raise DispatchError("serving dispatcher is stopped")
+                    try:
+                        worker.conn.send(("http", path, bytes(raw)))
+                        _, status, body, telemetry = worker.conn.recv()
+                    except (BrokenPipeError, EOFError, OSError):
+                        self._respawn_locked(worker)
+                        continue
+                self._ingest(worker.index, telemetry)
+                self._requests.inc()
+                self._latency.observe(time.perf_counter() - start)
+                return int(status), body
+            raise DispatchError(
+                f"engine worker {worker.index} died "
+                f"{self.max_retries + 1} times answering one request"
+            )
+        finally:
+            with self._pick_lock:
+                worker.pending -= 1
+
+    def _ingest(self, index: int, telemetry) -> None:
+        """Fold a worker's telemetry delta in under its worker label."""
+        if not telemetry:
+            return
+        delta, spans = telemetry
+        if delta:
+            self.registry.merge(
+                relabel_snapshot(delta, {"worker": str(index)})
+            )
+        if spans:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.ingest(spans)
+
+    # ------------------------------------------------------------------
+    # engine-compatible verbs (used by dispatch() and InProcessClient)
+
+    def _call(self, path: str, payload: Dict) -> Dict:
+        status, body = self.handle_http(
+            path, json.dumps(payload).encode("utf-8")
+        )
+        answer = json.loads(body.decode("utf-8"))
+        if status >= 400:
+            raise DispatchError(
+                str(answer.get("error", "request failed")), status=status
+            )
+        return answer
+
+    @staticmethod
+    def _listify(records):
+        return records.tolist() if isinstance(records, np.ndarray) else list(records)
+
+    def transform(self, records) -> np.ndarray:
+        answer = self._call("/v1/transform", {"records": self._listify(records)})
+        return np.asarray(answer["transformed"], dtype=np.float64)
+
+    def score(self, records) -> np.ndarray:
+        answer = self._call("/v1/score", {"records": self._listify(records)})
+        return np.asarray(answer["scores"], dtype=np.float64)
+
+    def rank(self, records, *, top_k=None, groups=None) -> Dict:
+        payload: Dict = {"records": self._listify(records)}
+        if top_k is not None:
+            payload["top_k"] = top_k
+        if groups is not None:
+            payload["groups"] = self._listify(np.asarray(groups))
+        return self._call("/v1/rank", payload)
+
+    def decide(self, records, groups) -> Dict:
+        return self._call(
+            "/v1/decide",
+            {
+                "records": self._listify(records),
+                "groups": self._listify(np.asarray(groups)),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # blue/green reload
+
+    def reload(self, artifact_path: str) -> Dict:
+        """Swap every worker onto the artifact at ``artifact_path``.
+
+        Loads + checksum-verifies the artifact, publishes its arrays to
+        the arena, then flips workers one at a time — each flip waits
+        for that worker's in-flight request under its lock, and the
+        other workers keep answering on whichever version they hold, so
+        capacity never reaches zero.  On any failure the flipped
+        workers are rolled back and the new lease released.  The old
+        lease is released only after all workers acknowledged.
+        """
+        if not isinstance(artifact_path, str) or not artifact_path:
+            raise ValidationError("reload requires an 'artifact' directory path")
+        with self._admin_lock:
+            if self._stopped:
+                raise DispatchError("serving dispatcher is stopped")
+            artifact = load_artifact(artifact_path)
+            spec, lease = self._make_spec(artifact)
+            previous = self.artifact.checksum
+            flipped: List[_Worker] = []
+            try:
+                for worker in self._workers:
+                    self._flip(worker, spec)
+                    flipped.append(worker)
+            except BaseException:
+                for worker in flipped:
+                    try:
+                        self._flip(worker, self._spec)
+                    except ReproError:  # pragma: no cover - best effort
+                        pass
+                if lease is not None:
+                    lease.release()
+                raise
+            old_lease = self._lease
+            self._spec, self._lease, self.artifact = spec, lease, artifact
+            if old_lease is not None:
+                old_lease.release()
+            self._reloads.inc()
+            _DISPATCH_LOG.info(
+                "reloaded %d workers onto artifact %s",
+                len(self._workers),
+                artifact.checksum,
+                extra={"checksum": artifact.checksum, "previous": previous},
+            )
+            return {
+                "status": "ok",
+                "checksum": artifact.checksum,
+                "previous_checksum": previous,
+                "workers": len(self._workers),
+            }
+
+    def _flip(self, worker: _Worker, spec: _ArtifactSpec) -> None:
+        with worker.lock:
+            try:
+                worker.conn.send(("load", spec))
+                _, ok, payload, telemetry = worker.conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                # Dead worker: respawning it directly onto the new spec
+                # *is* the flip.
+                self._respawn_locked(worker, spec)
+                return
+        self._ingest(worker.index, telemetry)
+        if not ok:
+            raise ValidationError(str(payload))
+
+    # ------------------------------------------------------------------
+    # engine-compatible introspection (GET endpoints, in-process)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.time() - self.started_at
+
+    def endpoints(self) -> List[str]:
+        return serving_endpoints(self.artifact)
+
+    def _sum_counter(self, snapshot: Dict, name: str) -> float:
+        return sum(
+            value
+            for key, value in snapshot.get("counters", {}).items()
+            if parse_metric_key(key)[0] == name
+        )
+
+    def stats(self) -> Dict:
+        """Traffic/cache counters reduced across workers.
+
+        Sums each worker-labelled series back into the engine's
+        unlabelled totals and adds a ``workers`` block (liveness,
+        respawns, reloads, per-worker request counts).  Window-local
+        fairness state stays per worker and is not merged.
+        """
+        snapshot = self.registry.snapshot()
+        hits = self._sum_counter(snapshot, "serving_cache_hits_total")
+        misses = self._sum_counter(snapshot, "serving_cache_misses_total")
+        lookups = hits + misses
+        per_worker: Dict[str, int] = {}
+        for key, value in snapshot.get("counters", {}).items():
+            name, labels = parse_metric_key(key)
+            if name == "serving_requests_total" and "worker" in labels:
+                per_worker[labels["worker"]] = (
+                    per_worker.get(labels["worker"], 0) + int(value)
+                )
+        cache_entries = sum(
+            value
+            for key, value in snapshot.get("gauges", {}).items()
+            if parse_metric_key(key)[0] == "serving_cache_entries"
+        )
+        with self._pick_lock:
+            alive = sum(1 for w in self._workers if w.process.is_alive())
+        return {
+            "requests": int(self._sum_counter(snapshot, "serving_requests_total")),
+            "records": int(self._sum_counter(snapshot, "serving_records_total")),
+            "cache_hits": int(hits),
+            "cache_misses": int(misses),
+            "cache_hit_ratio": (hits / lookups) if lookups else 0.0,
+            "cache_entries": int(cache_entries),
+            "batch_flushes": int(
+                self._sum_counter(snapshot, "serving_batch_flushes_total")
+            ),
+            "coalesced_requests": int(
+                self._sum_counter(snapshot, "serving_coalesced_requests_total")
+            ),
+            "endpoints": sorted(self.endpoints()),
+            "uptime_s": self.uptime_s,
+            "workers": {
+                "n": self.n_workers,
+                "alive": alive,
+                "dispatched": int(self._requests.value),
+                "respawns": int(self._respawns.value),
+                "reloads": int(self._reloads.value),
+                "requests": per_worker,
+            },
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text: merged worker series + dispatcher + library."""
+        self.registry.gauge("serving_uptime_seconds").set(self.uptime_s)
+        self.registry.gauge("serving_workers").set(self.n_workers)
+        return prometheus_text(
+            self.registry.snapshot(), get_registry().snapshot()
+        )
+
+    # ------------------------------------------------------------------
+    # shutdown
+
+    def stop(self) -> None:
+        """Drain and stop every worker; release the arena lease.
+
+        Idempotent.  Waits for each worker's in-flight request (its
+        lock) before sending the shutdown sentinel, mirroring the
+        executor's pool teardown.
+        """
+        with self._admin_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            with self._pick_lock:
+                workers, self._workers = getattr(self, "_workers", []), []
+        for worker in workers:
+            with worker.lock:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError, ValueError):
+                    pass
+        for worker in workers:
+            worker.process.join(timeout=_JOIN_TIMEOUT_S)
+            if worker.process.is_alive():  # pragma: no cover - wedged worker
+                worker.process.terminate()
+                worker.process.join(timeout=_JOIN_TIMEOUT_S)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        if self._lease is not None:
+            self._lease.release()
+            self._lease = None
+        from repro.utils.shm import arena
+
+        arena().reap()
+
+    def __enter__(self) -> "EngineDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -571,9 +571,19 @@ class InferenceEngine:
 
     def endpoints(self) -> List[str]:
         """Verbs this artifact can answer."""
-        verbs = ["transform"]
-        if self.artifact.scorer is not None:
-            verbs += ["score", "rank"]
-            if self.artifact.thresholds is not None:
-                verbs.append("decide")
-        return verbs
+        return serving_endpoints(self.artifact)
+
+
+def serving_endpoints(artifact: ServingArtifact) -> List[str]:
+    """Verbs ``artifact`` can answer, from its fitted decision heads.
+
+    Module-level so front ends that never build a local engine (the
+    multi-process dispatcher routes requests to worker-owned engines)
+    can still advertise the verb list in ``/v1/health``.
+    """
+    verbs = ["transform"]
+    if artifact.scorer is not None:
+        verbs += ["score", "rank"]
+        if artifact.thresholds is not None:
+            verbs.append("decide")
+    return verbs

@@ -15,6 +15,8 @@ Endpoints
 ``POST /v1/score``      ``{"records": ...}`` -> outcome probabilities
 ``POST /v1/rank``       ``{"records": ..., "top_k"?, "groups"?}`` -> ordering
 ``POST /v1/decide``     ``{"records": ..., "groups": [...]}`` -> decisions
+``POST /v1/admin/reload``  ``{"artifact": "<dir>"}`` -> blue/green model swap
+(multi-worker tier only; see :mod:`repro.serving.dispatcher`)
 
 Over HTTP, ``/v1/metrics`` answers with raw ``text/plain`` in the
 Prometheus exposition format; through :func:`dispatch` (the in-process
@@ -75,10 +77,14 @@ def dispatch(
         return {
             "status": "ok",
             "version": repro.__version__,
+            # The *active* checksum: a blue/green reload swaps the
+            # dispatcher's artifact, so health always names the weights
+            # currently answering.
             "artifact_checksum": engine.artifact.checksum,
             "uptime_s": engine.uptime_s,
             "endpoints": engine.endpoints(),
             "n_features": engine.artifact.n_features,
+            "workers": getattr(engine, "n_workers", 1),
             "metadata": engine.artifact.metadata,
         }
     if route == ("GET", "/v1/stats"):
@@ -88,6 +94,19 @@ def dispatch(
         # in-process client receives the exposition text under a key.
         return {"prometheus": engine.metrics_text()}
     try:
+        if route == ("POST", "/v1/admin/reload"):
+            if not hasattr(engine, "reload"):
+                raise RequestError(
+                    "model reload requires the multi-worker tier "
+                    "(serve with workers >= 2)"
+                )
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("artifact"), str
+            ):
+                raise RequestError(
+                    "reload requires an 'artifact' directory path"
+                )
+            return engine.reload(payload["artifact"])
         if route == ("POST", "/v1/transform"):
             Z = engine.transform(_require_records(payload))
             return {"transformed": Z.tolist()}
@@ -109,7 +128,9 @@ def dispatch(
     except RequestError:
         raise
     except ReproError as exc:
-        raise RequestError(str(exc))
+        # Errors that know their HTTP status (e.g. the dispatcher's 503
+        # on worker loss) keep it; plain model errors stay 400s.
+        raise RequestError(str(exc), status=getattr(exc, "status", 400))
     except (TypeError, ValueError) as exc:
         raise RequestError(f"malformed request: {exc}")
     raise RequestError(f"no endpoint {method.upper()} {path}", status=404)
@@ -130,11 +151,43 @@ class _Handler(BaseHTTPRequestHandler):
         content_type: str = "application/json",
     ) -> None:
         data = raw if raw is not None else json.dumps(body).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            # The client hung up mid-reply.  Not a server fault: eat the
+            # traceback, count it, and drop the (dead) connection.
+            self.close_connection = True
+            registry = getattr(self.server.engine, "registry", None)
+            if registry is not None:
+                registry.counter("serving_client_disconnects_total").inc()
+            _SERVER_LOG.warning(
+                "client disconnected mid-reply",
+                extra={
+                    "method": self.command,
+                    "path": self.path,
+                    "status": status,
+                    "error": type(exc).__name__,
+                },
+            )
+
+    def _log_access(self, status: int, start: float) -> None:
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        _ACCESS_LOG.log(
+            20 if self.server.verbose else 10,  # INFO / DEBUG
+            "%s %s",
+            self.command,
+            self.path,
+            extra={
+                "method": self.command,
+                "path": self.path,
+                "status": status,
+                "latency_ms": round(latency_ms, 3),
+            },
+        )
 
     def _handle(self, payload: Optional[Dict]) -> None:
         start = time.perf_counter()
@@ -164,19 +217,28 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._reply(200, body)
         finally:
-            latency_ms = (time.perf_counter() - start) * 1000.0
-            _ACCESS_LOG.log(
-                20 if self.server.verbose else 10,  # INFO / DEBUG
-                "%s %s",
-                self.command,
-                self.path,
-                extra={
-                    "method": self.command,
-                    "path": self.path,
-                    "status": status,
-                    "latency_ms": round(latency_ms, 3),
-                },
-            )
+            self._log_access(status, start)
+
+    def _handle_raw(self, engine, path: str, raw: bytes) -> None:
+        """Ship the undecoded POST body straight to a worker pipe.
+
+        The multi-process tier keeps the parent's handler threads off
+        the GIL-heavy work: JSON decode, model pass, and JSON encode
+        all happen inside the worker; this thread only routes bytes.
+        """
+        start = time.perf_counter()
+        status = 500
+        try:
+            with get_tracer().span(
+                "serving.dispatch", method="POST", path=path
+            ):
+                status, body = engine.handle_http(path, raw)
+            self._reply(status, {}, raw=body)
+        except ReproError as exc:
+            status = getattr(exc, "status", 503)
+            self._reply(status, {"error": str(exc)})
+        finally:
+            self._log_access(status, start)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         self._handle(None)
@@ -194,6 +256,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(400, {"error": "invalid or oversized request body"})
             return
         raw = self.rfile.read(length)
+        engine = self.server.engine
+        path = self.path.split("?", 1)[0]
+        path = path.rstrip("/") or path
+        if hasattr(engine, "handle_http") and path != "/v1/admin/reload":
+            # Admin verbs run in the parent (they orchestrate *all*
+            # workers); data-plane verbs ship raw bytes to one worker.
+            self._handle_raw(engine, path, raw)
+            return
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -247,18 +317,42 @@ class DecisionService:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain in-flight requests and stop; loud if the thread leaks.
+
+        ``server_close()`` joins every live handler thread
+        (``ThreadingMixIn`` with ``block_on_close``), so requests in
+        flight complete before the engine — possibly a multi-process
+        dispatcher — is torn down beneath them.  A server thread that
+        survives its join is an error, not a shrug: it would keep the
+        port bound and pin the engine alive invisibly.
+        """
         self._server.shutdown()
         self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        thread, self._thread = self._thread, None
+        leaked = thread is not None and (
+            thread.join(timeout=timeout) or thread.is_alive()
+        )
+        self._stop_engine()
+        if leaked:
+            message = (
+                f"server thread failed to stop within {timeout:.1f}s; "
+                "a handler is wedged and the listening socket may stay bound"
+            )
+            _SERVER_LOG.error(message)
+            raise ReproError(message)
+
+    def _stop_engine(self) -> None:
+        engine_stop = getattr(self.engine, "stop", None)
+        if callable(engine_stop):
+            engine_stop()
 
     def serve_forever(self) -> None:
         try:
             self._server.serve_forever()
         finally:
             self._server.server_close()
+            self._stop_engine()
 
     def __enter__(self) -> "DecisionService":
         return self.start()
@@ -275,13 +369,43 @@ def serve_artifact(
     batch_size: int = 256,
     cache_size: int = 4096,
     max_batch_delay: float = 0.0,
+    workers: int = 1,
     verbose: bool = False,
 ) -> DecisionService:
-    """Load an artifact directory and build a (not yet started) service."""
-    engine = InferenceEngine(
-        load_artifact(artifact_path),
-        batch_size=batch_size,
-        cache_size=cache_size,
-        max_batch_delay=max_batch_delay,
-    )
-    return DecisionService(engine, host=host, port=port, verbose=verbose)
+    """Load an artifact directory and build a (not yet started) service.
+
+    ``workers=1`` (the default) serves a single in-process engine —
+    simplest to debug, no child processes.  ``workers >= 2`` builds an
+    :class:`~repro.serving.dispatcher.EngineDispatcher`: N forked
+    engine workers sharing the model read-only through the shm arena,
+    with ``POST /v1/admin/reload`` blue/green swaps enabled.
+    """
+    if int(workers) < 1:
+        raise ValidationError("workers must be a positive integer")
+    artifact = load_artifact(artifact_path)
+    if int(workers) == 1:
+        engine = InferenceEngine(
+            artifact,
+            batch_size=batch_size,
+            cache_size=cache_size,
+            max_batch_delay=max_batch_delay,
+        )
+    else:
+        from repro.serving.dispatcher import EngineDispatcher
+
+        engine = EngineDispatcher(
+            artifact,
+            n_workers=int(workers),
+            batch_size=batch_size,
+            cache_size=cache_size,
+            max_batch_delay=max_batch_delay,
+        )
+    try:
+        return DecisionService(engine, host=host, port=port, verbose=verbose)
+    except BaseException:
+        # Bind failures must not leak forked workers.
+        engine_stop = getattr(engine, "stop", None)
+        if callable(engine_stop):
+            engine_stop()
+        raise
+

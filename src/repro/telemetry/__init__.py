@@ -26,6 +26,7 @@ from repro.telemetry.metrics import (
     merge_snapshots,
     parse_metric_key,
     prometheus_text,
+    relabel_snapshot,
     snapshot_diff,
 )
 from repro.telemetry.tracing import (
@@ -49,5 +50,6 @@ __all__ = [
     "merge_snapshots",
     "parse_metric_key",
     "prometheus_text",
+    "relabel_snapshot",
     "snapshot_diff",
 ]

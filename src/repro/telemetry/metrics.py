@@ -347,6 +347,36 @@ def merge_snapshots(snapshots: Sequence[Dict]) -> Dict:
     return merged.snapshot()
 
 
+def relabel_snapshot(snapshot: Optional[Dict], labels: Mapping[str, str]) -> Dict:
+    """Fold ``labels`` into every metric key of ``snapshot``.
+
+    The serving dispatcher ships each engine worker's registry delta
+    back to the parent and merges it under a ``worker="<i>"`` label, so
+    one ``/v1/metrics`` scrape exposes per-worker series while the
+    unlabeled totals remain derivable by summing over the label.  Keys
+    that already carry one of ``labels`` keep their own value (a verb
+    label set in the worker is never overwritten).
+    """
+    if not snapshot:
+        return {}
+    if not labels:
+        return snapshot
+
+    def rekey(key: str) -> str:
+        name, existing = parse_metric_key(key)
+        merged_labels = dict(labels)
+        merged_labels.update(existing)
+        return _metric_key(name, merged_labels)
+
+    relabeled: Dict = {}
+    for section in ("counters", "gauges", "histograms"):
+        if section in snapshot:
+            relabeled[section] = {
+                rekey(key): value for key, value in snapshot[section].items()
+            }
+    return relabeled
+
+
 def _prometheus_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""

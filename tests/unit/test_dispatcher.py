@@ -1,0 +1,216 @@
+"""Unit tests for the multi-process serving dispatcher.
+
+The dispatcher must be *transparent*: N shm-backed engine workers
+answer bitwise-identically to one in-process engine, survive worker
+crashes, swap models blue/green without dropping capacity, and ship
+per-worker telemetry back into one mergeable registry — all without
+leaking shared-memory segments.
+"""
+
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError, ValidationError
+from repro.serving import (
+    ArtifactError,
+    DispatchError,
+    EngineDispatcher,
+    InferenceEngine,
+    InProcessClient,
+    fit_serving_pipeline,
+    load_artifact,
+    save_artifact,
+)
+from repro.utils.shm import leaked_segments
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tiny_compas, tmp_path_factory):
+    artifact = fit_serving_pipeline(
+        tiny_compas, n_prototypes=4, max_iter=25, max_pairs=500, random_state=3
+    )
+    return save_artifact(
+        str(tmp_path_factory.mktemp("dispatch") / "compas"), artifact
+    )
+
+
+@pytest.fixture(scope="module")
+def engine(artifact_dir):
+    return InferenceEngine(load_artifact(artifact_dir), cache_size=256)
+
+
+@pytest.fixture(scope="module")
+def dispatcher(artifact_dir):
+    with EngineDispatcher(
+        load_artifact(artifact_dir), n_workers=2, cache_size=256
+    ) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def records(tiny_compas):
+    return tiny_compas.X[:12]
+
+
+@pytest.fixture(scope="module")
+def groups(tiny_compas):
+    return tiny_compas.protected[:12]
+
+
+class TestParity:
+    def test_transform_bitwise(self, dispatcher, engine, records):
+        assert np.array_equal(
+            dispatcher.transform(records), engine.transform(records)
+        )
+
+    def test_score_bitwise(self, dispatcher, engine, records):
+        assert np.array_equal(dispatcher.score(records), engine.score(records))
+
+    def test_rank_matches_json_roundtrip(self, dispatcher, engine, records):
+        expected = json.loads(json.dumps(engine.rank(records, top_k=5)))
+        assert dispatcher.rank(records, top_k=5) == expected
+
+    def test_decide_matches_modulo_drift_window(
+        self, dispatcher, engine, records, groups
+    ):
+        # fairness_drift reflects each worker's private sliding window,
+        # which legitimately depends on which worker served what.
+        got = dispatcher.decide(records, groups)
+        expected = json.loads(json.dumps(engine.decide(records, groups)))
+        got.pop("fairness_drift")
+        expected.pop("fairness_drift")
+        assert got == expected
+
+    def test_in_process_client_works_against_dispatcher(
+        self, dispatcher, engine, records
+    ):
+        client = InProcessClient(dispatcher)
+        assert client.score(records.tolist()) == json.loads(
+            json.dumps(engine.score(records).tolist())
+        )
+
+
+class TestErrors:
+    def test_bad_width_maps_to_400(self, dispatcher):
+        with pytest.raises(DispatchError) as excinfo:
+            dispatcher.score([[1.0, 2.0]])
+        assert excinfo.value.status == 400
+
+    def test_n_workers_must_be_positive(self, artifact_dir):
+        with pytest.raises(ValidationError):
+            EngineDispatcher(load_artifact(artifact_dir), n_workers=0)
+
+    def test_stopped_dispatcher_refuses(self, artifact_dir, records):
+        dispatcher = EngineDispatcher(load_artifact(artifact_dir), n_workers=1)
+        dispatcher.stop()
+        dispatcher.stop()  # idempotent
+        with pytest.raises(DispatchError):
+            dispatcher.score(records)
+
+
+class TestTelemetry:
+    def test_metrics_carry_worker_labels(self, dispatcher, records):
+        dispatcher.score(records)
+        text = dispatcher.metrics_text()
+        assert 'serving_requests_total{worker="' in text
+        assert "serving_dispatch_seconds" in text
+
+    def test_stats_reduce_across_workers(self, dispatcher, records):
+        for _ in range(4):
+            dispatcher.score(records)
+        stats = dispatcher.stats()
+        assert stats["requests"] == sum(
+            stats["workers"]["requests"].values()
+        )
+        assert stats["records"] >= stats["requests"] * len(records)
+        assert stats["workers"]["n"] == 2
+        assert stats["workers"]["alive"] == 2
+        assert "score" in stats["endpoints"]
+
+    def test_health_surface(self, dispatcher, artifact_dir):
+        # The duck-typed engine surface dispatch() reads for /v1/health.
+        assert dispatcher.artifact.checksum
+        assert dispatcher.uptime_s >= 0.0
+        assert dispatcher.endpoints() == ["transform", "score", "rank", "decide"]
+        assert dispatcher.n_workers == 2
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_respawned_and_requests_survive(
+        self, artifact_dir, records
+    ):
+        dispatcher = EngineDispatcher(
+            load_artifact(artifact_dir), n_workers=2, cache_size=0
+        )
+        try:
+            baseline = dispatcher.score(records)
+            victim = dispatcher._workers[0].process
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5.0)
+            for _ in range(6):  # hits both workers
+                assert np.array_equal(dispatcher.score(records), baseline)
+            stats = dispatcher.stats()["workers"]
+            assert stats["respawns"] >= 1
+            assert stats["alive"] == 2
+        finally:
+            dispatcher.stop()
+
+
+class TestReload:
+    def test_reload_same_artifact_changes_nothing(
+        self, dispatcher, engine, artifact_dir, records
+    ):
+        before = dispatcher.score(records)
+        answer = dispatcher.reload(artifact_dir)
+        assert answer["status"] == "ok"
+        assert answer["checksum"] == engine.artifact.checksum
+        assert answer["previous_checksum"] == engine.artifact.checksum
+        assert answer["workers"] == 2
+        assert np.array_equal(dispatcher.score(records), before)
+
+    def test_reload_new_artifact_swaps_checksum_and_answers(
+        self, tiny_compas, artifact_dir, tmp_path, records
+    ):
+        other = fit_serving_pipeline(
+            tiny_compas, n_prototypes=3, max_iter=20, max_pairs=400,
+            random_state=11,
+        )
+        other_dir = save_artifact(str(tmp_path / "other"), other)
+        dispatcher = EngineDispatcher(load_artifact(artifact_dir), n_workers=2)
+        try:
+            old = dispatcher.score(records)
+            answer = dispatcher.reload(other_dir)
+            assert answer["checksum"] == other.checksum
+            assert dispatcher.artifact.checksum == other.checksum
+            fresh = InferenceEngine(load_artifact(other_dir))
+            assert np.array_equal(dispatcher.score(records), fresh.score(records))
+            assert not np.array_equal(dispatcher.score(records), old)
+            # ...and back: the blue artifact's segments were released
+            # but republish cleanly.
+            assert dispatcher.reload(artifact_dir)["checksum"] != other.checksum
+            assert np.array_equal(dispatcher.score(records), old)
+        finally:
+            dispatcher.stop()
+
+    def test_reload_missing_artifact_fails_and_keeps_serving(
+        self, dispatcher, records, tmp_path
+    ):
+        before = dispatcher.score(records)
+        with pytest.raises(ArtifactError):
+            dispatcher.reload(str(tmp_path / "nope"))
+        with pytest.raises(ValidationError):
+            dispatcher.reload("")
+        assert np.array_equal(dispatcher.score(records), before)
+
+
+class TestCleanup:
+    def test_stop_releases_all_segments(self, artifact_dir, records):
+        before = set(leaked_segments())
+        dispatcher = EngineDispatcher(load_artifact(artifact_dir), n_workers=2)
+        dispatcher.score(records)
+        dispatcher.stop()
+        assert set(leaked_segments()) <= before
