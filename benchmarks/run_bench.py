@@ -305,6 +305,20 @@ def bench_load_rows(quick: bool) -> dict:
     return bench_load.bench_workers(quick=quick)
 
 
+def bench_sharded_rows(quick: bool) -> dict:
+    """Sharded landmark-oracle rows (PR 8), from :mod:`bench_sharded`.
+
+    Quick runs time the M = 100k sharded fit and the parity flag; full
+    runs add the M = 1,000,000 acceptance rows.
+    """
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import bench_sharded
+
+    return bench_sharded.bench_sharded(quick=quick)
+
+
 # ----------------------------------------------------------------------
 # telemetry overhead (PR 6)
 
@@ -568,6 +582,9 @@ GATE_LOWER_IS_BETTER = (
     # the measured duration differs), so they gate like the others.
     "load_workers1_p50_s",
     "load_workers2_p50_s",
+    # Sharded-oracle fit at M = 100k: quick and full runs use the
+    # identical shape (the M = 1e6 rows are full-run-only, not gated).
+    "m1e5_fit_s",
 )
 
 #: Correctness flags that must never flip to false once recorded true
@@ -587,6 +604,9 @@ GATE_MUST_STAY_TRUE = (
     "workers2_rps_speedup_ok",
     "workers2_p99_ok",
     "reload_under_load_ok",
+    # Sharded oracle == single-process oracle (rtol 1e-10) AND bitwise
+    # n_jobs-independence at a fixed shard plan.
+    "sharded_parity_ok",
 )
 
 
@@ -648,6 +668,7 @@ def run(label: str, quick: bool, tune_jobs: int, trace_out=None) -> dict:
     entry.update(bench_transform(repeats))
     entry.update(bench_serving(repeats))
     entry.update(bench_load_rows(quick))
+    entry.update(bench_sharded_rows(quick))
     entry.update(bench_telemetry(repeats, trace_out=trace_out))
     entry.update(bench_tuning(tune_jobs, quick=quick))
     return entry
@@ -693,6 +714,15 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--sharded",
+        action="store_true",
+        help=(
+            "only measure the sharded landmark-oracle rows (M = 100k "
+            "fit + parity flag; with no --quick also the M = 1,000,000 "
+            "acceptance fits) and append the entry"
+        ),
+    )
+    parser.add_argument(
         "--compare",
         metavar="BASELINE.json",
         default=None,
@@ -727,7 +757,7 @@ def main() -> None:
             raise SystemExit(2)
         baseline_doc = json.loads(baseline_path.read_text())
 
-    if args.scaling or args.load:
+    if args.scaling or args.load or args.sharded:
         entry = {
             "label": args.label,
             "quick": args.quick,
@@ -739,6 +769,8 @@ def main() -> None:
             entry.update(bench_tune_scaling(args.quick))
         if args.load:
             entry.update(bench_load_rows(args.quick))
+        if args.sharded:
+            entry.update(bench_sharded_rows(args.quick))
     else:
         entry = run(args.label, args.quick, args.tune_jobs, trace_out=args.trace_out)
     path = Path(args.out)
@@ -769,7 +801,18 @@ def main() -> None:
         import bench_load  # already on sys.path via bench_load_rows
 
         bench_load.print_summary(entry)
-    if args.scaling or args.load:
+    if "m1e5_fit_s" in entry:
+        sharded = (
+            f"sharded oracle: M=1e5 fit {entry['m1e5_fit_s']:.2f} s, "
+            f"parity {'OK' if entry['sharded_parity_ok'] else 'BROKEN'}"
+        )
+        if "m1e6_fit_s" in entry:
+            sharded += (
+                f"; M=1e6 fit {entry['m1e6_fit_s']:.2f} s, stochastic "
+                f"{entry['m1e6_stochastic_fit_s']:.2f} s"
+            )
+        print(sharded)
+    if args.scaling or args.load or args.sharded:
         _gate_and_exit(args, entry, baseline_doc)
         return
     _print_summary(entry)

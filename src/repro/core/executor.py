@@ -637,6 +637,9 @@ class WorkerPool:
             raise WorkerCrashError(index, retries[index])
         # Retry on the freshly spawned worker; determinism is
         # unaffected because the payload (and its seed) is reused.
+        # Counted separately from respawns: a respawn between runs
+        # (dead pipe on dispatch) retries nothing.
+        get_registry().counter("executor_task_retries_total").inc()
         pending.append(index)
 
 

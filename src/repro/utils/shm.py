@@ -354,10 +354,14 @@ class ShmArena:
                 "leased": sum(1 for e in self._entries.values() if e.refs > 0),
                 "hits": self.hits,
                 "misses": self.misses,
+                "bytes": sum(
+                    e.segment.size for e in self._entries.values()
+                ),
             }
         registry = get_registry()
         registry.gauge("shm_arena_entries").set(stats["entries"])
         registry.gauge("shm_arena_leased").set(stats["leased"])
+        registry.gauge("shm_arena_bytes").set(stats["bytes"])
         return stats
 
     def _check_fork(self) -> None:

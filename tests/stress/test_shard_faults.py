@@ -1,0 +1,174 @@
+"""Fault-injection and warm-pool stress tests for the sharded oracle.
+
+The headline claim of ISSUE 8's harness: killing a shard worker
+mid-reduction is *invisible* — the executor respawns the worker,
+retries the shard, and the refitted theta is bitwise identical to an
+undisturbed fit, with no shared-memory segments leaked.  The warm-pool
+tests cover the companion staleness hazard: a session pool serving two
+consecutive oracles with different shard plans over the same broadcast
+must never hand one plan the other's memoised ``D*`` rows.
+
+The M = 1,000,000 acceptance fit rides at the bottom behind the
+``nightly`` marker (see ``tests/conftest.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import shutdown_session_pools
+from repro.core.model import IFair
+from repro.core.objective import IFairObjective
+from repro.core.shards import FAULT_ENV, ShardedLandmarkOracle
+from repro.telemetry.metrics import get_registry
+from repro.utils.shm import leaked_segments
+
+
+def _binary_last_column(m, n, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(m, n))
+    X[:, n - 1] = (rng.random(m) > 0.5).astype(float)
+    return X
+
+
+def _sharded_fit(X, oracle_jobs):
+    return IFair(
+        n_prototypes=3,
+        pair_mode="landmark",
+        n_landmarks=12,
+        oracle_shards=4,
+        oracle_jobs=oracle_jobs,
+        n_restarts=1,
+        max_iter=6,
+        random_state=0,
+    ).fit(X, [X.shape[1] - 1])
+
+
+class TestFaultInjection:
+    def test_worker_killed_mid_reduction_is_invisible(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill the worker serving shard 1; assert a bitwise-equal fit."""
+        X = _binary_last_column(120, 6, seed=4)
+        clean = _sharded_fit(X, oracle_jobs=None)
+
+        token = tmp_path / "fault-token"
+        token.write_text("armed")
+        monkeypatch.setenv(FAULT_ENV, f"1:{token}")
+        registry = get_registry()
+        respawns = registry.counter("executor_worker_respawns_total")
+        retries = registry.counter("executor_task_retries_total")
+        respawns_before = respawns.value
+        retries_before = retries.value
+
+        faulted = _sharded_fit(X, oracle_jobs=2)
+
+        # The fault consumed its token (one worker died once)...
+        assert not token.exists()
+        assert respawns.value > respawns_before
+        assert retries.value > retries_before
+        # ...and the retried fit is indistinguishable from a clean one.
+        np.testing.assert_array_equal(clean.theta_, faulted.theta_)
+        assert clean.loss_ == faulted.loss_
+
+        shutdown_session_pools()
+        assert leaked_segments() == []
+
+    def test_fault_hook_is_inert_in_the_parent(self, tmp_path, monkeypatch):
+        """In-process evaluation must ignore the env hook entirely."""
+        token = tmp_path / "parent-token"
+        token.write_text("armed")
+        monkeypatch.setenv(FAULT_ENV, f"0:{token}")
+        X = _binary_last_column(40, 5, seed=9)
+        model = _sharded_fit(X, oracle_jobs=None)
+        assert np.isfinite(model.loss_)
+        assert token.exists()  # never consumed: no worker ever saw it
+
+
+class TestWarmPoolMemo:
+    def test_consecutive_plans_on_one_session_pool_stay_exact(self):
+        """Different shard plans over one warm broadcast: no stale D*.
+
+        Both oracles reuse the session workers (and the arena-cached
+        broadcast, hence the memoised shard support); the second plan's
+        row ranges overlap the first's without being equal — exactly
+        the aliasing the range-keyed ``D*`` cache exists to prevent.
+        """
+        X = _binary_last_column(200, 6, seed=12)
+        objective = IFairObjective(
+            X,
+            [5],
+            n_prototypes=3,
+            pair_mode="landmark",
+            n_landmarks=12,
+            random_state=0,
+        )
+        theta = np.random.default_rng(1).uniform(
+            0.1, 0.9, size=objective.n_params
+        )
+        loss_ref, grad_ref = objective.loss_and_grad(theta)
+        try:
+            results = []
+            for n_shards in (4, 3, 5):
+                with ShardedLandmarkOracle(
+                    objective, n_shards=n_shards, n_jobs=2, pool="session"
+                ) as oracle:
+                    results.append(oracle.loss_and_grad(theta))
+        finally:
+            shutdown_session_pools()
+        for loss, grad in results:
+            assert loss == pytest.approx(loss_ref, rel=1e-10)
+            np.testing.assert_allclose(
+                grad, grad_ref, rtol=1e-10,
+                atol=1e-10 * np.abs(grad_ref).max(),
+            )
+        assert leaked_segments() == []
+
+    def test_consecutive_fits_on_one_session_pool_match_cold_fits(self):
+        """Back-to-back sharded fits on warm workers stay bitwise."""
+        X = _binary_last_column(120, 6, seed=20)
+
+        def fit(pool):
+            return IFair(
+                n_prototypes=3,
+                pair_mode="landmark",
+                n_landmarks=12,
+                oracle_shards=4,
+                oracle_jobs=2,
+                pool=pool,
+                n_restarts=1,
+                max_iter=5,
+                random_state=0,
+            ).fit(X, [5])
+
+        try:
+            warm_first = fit("session")
+            warm_second = fit("session")  # memo-hit path
+        finally:
+            shutdown_session_pools()
+        cold = fit("per-call")
+        np.testing.assert_array_equal(cold.theta_, warm_first.theta_)
+        np.testing.assert_array_equal(cold.theta_, warm_second.theta_)
+        assert leaked_segments() == []
+
+
+@pytest.mark.nightly
+class TestMillionRowAcceptance:
+    def test_m1e6_sharded_fit_completes(self):
+        """The ISSUE 8 acceptance shape: M = 1,000,000 rows."""
+        m, n = 1_000_000, 8
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(m, n))
+        X[:, n - 1] = (rng.random(m) > 0.5).astype(float)
+        model = IFair(
+            n_prototypes=4,
+            pair_mode="landmark",
+            n_landmarks=32,
+            oracle_shards=8,
+            oracle_jobs=2,
+            n_restarts=1,
+            max_iter=3,
+            random_state=0,
+        ).fit(X, [n - 1])
+        assert np.isfinite(model.loss_)
+        shutdown_session_pools()
+        assert leaked_segments() == []
