@@ -319,6 +319,21 @@ def bench_sharded_rows(quick: bool) -> dict:
     return bench_sharded.bench_sharded(quick=quick)
 
 
+def bench_chaos_rows(quick: bool) -> dict:
+    """Serving chaos-soak rows (PR 9), from :mod:`bench_chaos`.
+
+    Correctness under injected worker faults: error/shed rates, p99 of
+    verified answers, deadline kills and respawns, with two blue/green
+    reloads fired mid-chaos.
+    """
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import bench_chaos
+
+    return bench_chaos.bench_chaos(quick=quick)
+
+
 # ----------------------------------------------------------------------
 # telemetry overhead (PR 6)
 
@@ -607,6 +622,12 @@ GATE_MUST_STAY_TRUE = (
     # Sharded oracle == single-process oracle (rtol 1e-10) AND bitwise
     # n_jobs-independence at a fixed shard plan.
     "sharded_parity_ok",
+    # Chaos soak: zero non-shed errors / wrong answers under the
+    # injected fault mix with reloads mid-chaos, and any shed answer
+    # well-formed with the success p99 inside the retry envelope
+    # (envelope slack is cpu-count-conditioned inside bench_chaos).
+    "chaos_error_rate_ok",
+    "chaos_shed_p99_ok",
 )
 
 
@@ -669,6 +690,7 @@ def run(label: str, quick: bool, tune_jobs: int, trace_out=None) -> dict:
     entry.update(bench_serving(repeats))
     entry.update(bench_load_rows(quick))
     entry.update(bench_sharded_rows(quick))
+    entry.update(bench_chaos_rows(quick))
     entry.update(bench_telemetry(repeats, trace_out=trace_out))
     entry.update(bench_tuning(tune_jobs, quick=quick))
     return entry
@@ -723,6 +745,15 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "only measure the serving tier under injected worker "
+            "faults (crash/hang/slow/corrupt + blue/green reloads "
+            "mid-chaos) and append the correctness-under-faults entry"
+        ),
+    )
+    parser.add_argument(
         "--compare",
         metavar="BASELINE.json",
         default=None,
@@ -757,7 +788,8 @@ def main() -> None:
             raise SystemExit(2)
         baseline_doc = json.loads(baseline_path.read_text())
 
-    if args.scaling or args.load or args.sharded:
+    single_mode = args.scaling or args.load or args.sharded or args.chaos
+    if single_mode:
         entry = {
             "label": args.label,
             "quick": args.quick,
@@ -771,6 +803,8 @@ def main() -> None:
             entry.update(bench_load_rows(args.quick))
         if args.sharded:
             entry.update(bench_sharded_rows(args.quick))
+        if args.chaos:
+            entry.update(bench_chaos_rows(args.quick))
     else:
         entry = run(args.label, args.quick, args.tune_jobs, trace_out=args.trace_out)
     path = Path(args.out)
@@ -812,7 +846,11 @@ def main() -> None:
                 f"{entry['m1e6_stochastic_fit_s']:.2f} s"
             )
         print(sharded)
-    if args.scaling or args.load or args.sharded:
+    if "chaos_rps" in entry:
+        import bench_chaos  # already on sys.path via bench_chaos_rows
+
+        bench_chaos.print_summary(entry)
+    if single_mode:
         _gate_and_exit(args, entry, baseline_doc)
         return
     _print_summary(entry)

@@ -178,6 +178,38 @@ def build_parser() -> argparse.ArgumentParser:
             "POST /v1/admin/reload blue/green model swaps"
         ),
     )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        help=(
+            "per-attempt worker reply deadline in milliseconds "
+            "(multi-worker tier only): a worker that misses it is "
+            "killed and the request rerouted to a healthy peer; "
+            "default 0 waits forever"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        help=(
+            "admission gate (multi-worker tier only): max requests in "
+            "flight past the gate; excess load queues up to "
+            "--shed-queue-ms then is shed with 429 + Retry-After; "
+            "default 0 = unbounded"
+        ),
+    )
+    serve.add_argument(
+        "--shed-queue-ms",
+        type=float,
+        default=100.0,
+        help=(
+            "max milliseconds a request may wait at the admission gate "
+            "before being shed (only meaningful with --max-inflight; "
+            "default 100)"
+        ),
+    )
     _add_logging_flags(serve)
     return parser
 
@@ -452,6 +484,9 @@ def _cmd_serve(args) -> int:
             cache_size=args.cache_size,
             max_batch_delay=args.batch_delay_ms / 1000.0,
             workers=args.workers,
+            deadline_s=(args.deadline_ms / 1000.0) if args.deadline_ms > 0 else None,
+            max_inflight=args.max_inflight if args.max_inflight > 0 else None,
+            shed_queue_s=args.shed_queue_ms / 1000.0,
             verbose=True,
         )
     except OSError as exc:

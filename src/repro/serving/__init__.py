@@ -11,6 +11,13 @@ multi-core boxes, :class:`~repro.serving.dispatcher.EngineDispatcher`
 fans the same API out to N forked engine workers that share the model
 read-only through the shm arena (``serve_artifact(..., workers=N)``).
 
+The dispatcher tier is deadline-aware and self-healing: per-request
+deadlines with hung-worker kills and reroute retries, an admission
+gate that sheds overload with 429 + ``Retry-After``, a crash-loop
+breaker with jittered-backoff respawns and probation-based eviction,
+and a :mod:`~repro.serving.chaos` fault plane (``REPRO_CHAOS``) for
+testing all of it under injected crash/hang/slow/corrupt faults.
+
 Typical flow::
 
     artifact = fit_serving_pipeline(generate_compas(1000, random_state=7))
@@ -28,8 +35,19 @@ from repro.serving.artifacts import (
     load_artifact,
     save_artifact,
 )
-from repro.serving.client import HTTPClient, InProcessClient, ServiceError
-from repro.serving.dispatcher import DispatchError, EngineDispatcher
+from repro.serving.chaos import CHAOS_ENV, ChaosConfig, ChaosPlane
+from repro.serving.client import (
+    HTTPClient,
+    InProcessClient,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+from repro.serving.dispatcher import (
+    AdmissionError,
+    DispatchError,
+    EngineDispatcher,
+)
 from repro.serving.engine import InferenceEngine, LRUCache, MicroBatcher
 from repro.serving.fit import fit_serving_pipeline
 from repro.serving.service import DecisionService, RequestError, dispatch, serve_artifact
@@ -46,9 +64,15 @@ __all__ = [
     "MicroBatcher",
     "EngineDispatcher",
     "DispatchError",
+    "AdmissionError",
+    "CHAOS_ENV",
+    "ChaosConfig",
+    "ChaosPlane",
     "DecisionService",
     "RequestError",
     "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceUnavailableError",
     "dispatch",
     "serve_artifact",
     "InProcessClient",

@@ -6,11 +6,26 @@ function the HTTP handler uses, and :class:`HTTPClient` speaks JSON
 over a socket.  A test (or benchmark) parameterised over both clients
 therefore exercises identical request semantics, differing only in the
 wire.
+
+Error surface: both transports raise :class:`ServiceError` subclasses
+keyed by status — :class:`ServiceOverloadedError` (429, the tier shed
+the request) and :class:`ServiceUnavailableError` (503 or the socket
+could not be reached), each carrying the server's ``retry_after_s``
+hint and the ``worker`` slot when the body named one.
+
+Retries: :class:`HTTPClient` owns a small, safe-by-default retry
+budget.  Only transport failures and 429/503 answers are retried —
+the statuses the resilience layer emits for *transient* conditions —
+never 4xx validation errors, and never more than ``retries`` extra
+attempts.  Backoff is exponential with full jitter and honours the
+server's ``Retry-After`` hint when it is larger.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Dict, List, Optional
@@ -23,9 +38,65 @@ from repro.serving.service import RequestError, dispatch
 class ServiceError(ReproError):
     """The service answered with an error status."""
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        retry_after_s: Optional[float] = None,
+        worker: Optional[int] = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after_s = retry_after_s
+        self.worker = worker
+
+
+class ServiceOverloadedError(ServiceError):
+    """HTTP 429: the admission gate shed this request; retry later."""
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: Optional[float] = None,
+        worker: Optional[int] = None,
+    ):
+        super().__init__(
+            message, status=429, retry_after_s=retry_after_s, worker=worker
+        )
+
+
+class ServiceUnavailableError(ServiceError):
+    """HTTP 503 (or unreachable socket): no capacity right now."""
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: Optional[float] = None,
+        worker: Optional[int] = None,
+    ):
+        super().__init__(
+            message, status=503, retry_after_s=retry_after_s, worker=worker
+        )
+
+
+def service_error(
+    message: str,
+    status: int,
+    retry_after_s: Optional[float] = None,
+    worker: Optional[int] = None,
+) -> ServiceError:
+    """The typed :class:`ServiceError` for ``status``."""
+    if status == 429:
+        return ServiceOverloadedError(
+            message, retry_after_s=retry_after_s, worker=worker
+        )
+    if status == 503:
+        return ServiceUnavailableError(
+            message, retry_after_s=retry_after_s, worker=worker
+        )
+    return ServiceError(
+        message, status=status, retry_after_s=retry_after_s, worker=worker
+    )
 
 
 class BaseClient:
@@ -85,18 +156,63 @@ class InProcessClient(BaseClient):
         try:
             body = dispatch(self.engine, method, path, payload)
         except RequestError as exc:
-            raise ServiceError(str(exc), status=exc.status)
+            raise service_error(
+                str(exc),
+                exc.status,
+                retry_after_s=getattr(exc, "retry_after_s", None),
+                worker=getattr(exc, "worker", None),
+            )
         return json.loads(json.dumps(body))
 
 
 class HTTPClient(BaseClient):
-    """Talk to a running :class:`~repro.serving.service.DecisionService`."""
+    """Talk to a running :class:`~repro.serving.service.DecisionService`.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8351, timeout: float = 10.0):
+    ``retries`` extra attempts are spent only on transport failures and
+    429/503 answers (see module docstring); ``retries=0`` restores the
+    fail-fast behaviour.  ``backoff_s`` is the base of the exponential
+    backoff schedule, capped at ``backoff_max_s``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8351,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+    ):
         self.base_url = f"http://{host}:{port}"
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_max_s = float(backoff_max_s)
+
+    def _backoff(self, attempt: int, exc: ServiceError) -> float:
+        delay = min(self.backoff_max_s, self.backoff_s * (2.0 ** attempt))
+        delay *= 0.5 + random.random()  # full jitter in [0.5x, 1.5x]
+        hint = getattr(exc, "retry_after_s", None)
+        if hint:
+            # Honour the server's estimate when it is more patient than
+            # ours, but never sleep past the backoff ceiling.
+            delay = max(delay, min(float(hint), self.backoff_max_s))
+        return delay
 
     def request(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except (ServiceOverloadedError, ServiceUnavailableError) as exc:
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self._backoff(attempt, exc))
+                attempt += 1
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
@@ -108,11 +224,24 @@ class HTTPClient(BaseClient):
             with urllib.request.urlopen(req, timeout=self.timeout) as response:
                 body = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
+            message, retry_after, worker = str(exc), None, None
             try:
-                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+                error_body = json.loads(exc.read().decode("utf-8"))
+                message = error_body.get("error", message)
+                retry_after = error_body.get("retry_after_s")
+                worker = error_body.get("worker")
             except (ValueError, UnicodeDecodeError):
-                message = str(exc)
-            raise ServiceError(message, status=exc.code)
+                pass
+            if retry_after is None:
+                header = exc.headers.get("Retry-After") if exc.headers else None
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+            raise service_error(
+                message, exc.code, retry_after_s=retry_after, worker=worker
+            )
         except urllib.error.URLError as exc:
-            raise ServiceError(f"service unreachable: {exc.reason}", status=503)
+            raise ServiceUnavailableError(f"service unreachable: {exc.reason}")
         return body

@@ -573,6 +573,16 @@ class InferenceEngine:
         """Verbs this artifact can answer."""
         return serving_endpoints(self.artifact)
 
+    def health(self) -> Dict:
+        """Liveness verdict, mirroring the dispatcher's shape.
+
+        A single in-process engine has no worker slots that can fail
+        independently — if this method answers, the engine is ``ok``.
+        Keeping the shape lets ``GET /v1/health`` report a uniform
+        ``status`` + ``resilience`` block across both serving tiers.
+        """
+        return {"status": "ok", "workers": 1, "workers_alive": 1}
+
 
 def serving_endpoints(artifact: ServingArtifact) -> List[str]:
     """Verbs ``artifact`` can answer, from its fitted decision heads.

@@ -29,6 +29,7 @@ status, latency_ms) through :mod:`repro.telemetry.logs` — quiet unless
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -47,12 +48,51 @@ _ACCESS_LOG = get_logger("serving.access")
 _SERVER_LOG = get_logger("serving.http")
 
 
-class RequestError(ValidationError):
-    """A malformed or unanswerable service request (HTTP 400/404)."""
+#: Default ``Retry-After`` hint (seconds) for 429/503 replies whose
+#: originating error did not carry a better estimate.
+DEFAULT_RETRY_AFTER_S = 1.0
 
-    def __init__(self, message: str, status: int = 400):
+
+class RequestError(ValidationError):
+    """A malformed or unanswerable service request (HTTP 4xx/503).
+
+    Overload/unavailability statuses (429/503) carry ``retry_after_s``
+    (the server's estimate of when retrying could succeed) and
+    ``worker`` (the engine slot involved, when one was) so both the
+    HTTP layer and the in-process client can surface them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        retry_after_s: Optional[float] = None,
+        worker: Optional[int] = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after_s = retry_after_s
+        self.worker = worker
+
+
+def error_payload(
+    exc: BaseException, default_status: int = 400
+) -> Tuple[int, Dict]:
+    """Structured JSON error body for ``exc``.
+
+    Every 429/503 body carries ``error`` + ``retry_after_s`` +
+    ``worker`` (satellite contract of the resilience layer); other
+    statuses keep the plain ``{"error": ...}`` shape.
+    """
+    status = int(getattr(exc, "status", default_status))
+    body: Dict = {"error": str(exc)}
+    if status in (429, 503):
+        retry_after = getattr(exc, "retry_after_s", None)
+        body["retry_after_s"] = (
+            DEFAULT_RETRY_AFTER_S if retry_after is None else float(retry_after)
+        )
+        body["worker"] = getattr(exc, "worker", None)
+    return status, body
 
 
 def _require_records(payload: Dict):
@@ -74,7 +114,7 @@ def dispatch(
     path = path.split("?", 1)[0]  # health probes may append query strings
     route = (method.upper(), path.rstrip("/") or path)
     if route == ("GET", "/v1/health"):
-        return {
+        health = {
             "status": "ok",
             "version": repro.__version__,
             # The *active* checksum: a blue/green reload swaps the
@@ -87,6 +127,14 @@ def dispatch(
             "workers": getattr(engine, "n_workers", 1),
             "metadata": engine.artifact.metadata,
         }
+        # The multi-worker tier knows slot-level liveness: surface its
+        # ok / degraded / unavailable verdict plus breaker detail.
+        engine_health = getattr(engine, "health", None)
+        if callable(engine_health):
+            detail = dict(engine_health())
+            health["status"] = detail.pop("status", "ok")
+            health["resilience"] = detail
+        return health
     if route == ("GET", "/v1/stats"):
         return engine.stats()
     if route == ("GET", "/v1/metrics"):
@@ -129,8 +177,14 @@ def dispatch(
         raise
     except ReproError as exc:
         # Errors that know their HTTP status (e.g. the dispatcher's 503
-        # on worker loss) keep it; plain model errors stay 400s.
-        raise RequestError(str(exc), status=getattr(exc, "status", 400))
+        # on worker loss, its 429 on shed load) keep it — and their
+        # retry/worker context; plain model errors stay 400s.
+        raise RequestError(
+            str(exc),
+            status=getattr(exc, "status", 400),
+            retry_after_s=getattr(exc, "retry_after_s", None),
+            worker=getattr(exc, "worker", None),
+        )
     except (TypeError, ValueError) as exc:
         raise RequestError(f"malformed request: {exc}")
     raise RequestError(f"no endpoint {method.upper()} {path}", status=404)
@@ -149,12 +203,15 @@ class _Handler(BaseHTTPRequestHandler):
         *,
         raw: Optional[bytes] = None,
         content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         data = raw if raw is not None else json.dumps(body).encode("utf-8")
         try:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(data)
         except (BrokenPipeError, ConnectionResetError) as exc:
@@ -189,6 +246,25 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _retry_after_header(self, body: Dict) -> Dict[str, str]:
+        """``Retry-After`` header from a structured error body.
+
+        HTTP wants integer delta-seconds; the JSON body keeps the
+        precise float for clients that parse it.
+        """
+        retry_after = body.get("retry_after_s")
+        if retry_after is None:
+            retry_after = DEFAULT_RETRY_AFTER_S
+        return {"Retry-After": str(max(1, math.ceil(float(retry_after))))}
+
+    def _error_reply(self, exc: BaseException, default_status: int = 400) -> int:
+        status, body = error_payload(exc, default_status)
+        headers = (
+            self._retry_after_header(body) if status in (429, 503) else None
+        )
+        self._reply(status, body, headers=headers)
+        return status
+
     def _handle(self, payload: Optional[Dict]) -> None:
         start = time.perf_counter()
         status = 200
@@ -200,8 +276,7 @@ class _Handler(BaseHTTPRequestHandler):
                     self.server.engine, self.command, self.path, payload
                 )
         except RequestError as exc:
-            status = exc.status
-            self._reply(status, {"error": str(exc)})
+            status = self._error_reply(exc)
         else:
             if "prometheus" in body and self.path.split("?", 1)[0].rstrip(
                 "/"
@@ -233,10 +308,19 @@ class _Handler(BaseHTTPRequestHandler):
                 "serving.dispatch", method="POST", path=path
             ):
                 status, body = engine.handle_http(path, raw)
-            self._reply(status, {}, raw=body)
+            headers = None
+            if status in (429, 503):
+                # Worker-built error bodies already carry the
+                # structured retry fields — lift them into the header.
+                try:
+                    headers = self._retry_after_header(
+                        json.loads(body.decode("utf-8"))
+                    )
+                except (UnicodeDecodeError, ValueError):
+                    headers = self._retry_after_header({})
+            self._reply(status, {}, raw=body, headers=headers)
         except ReproError as exc:
-            status = getattr(exc, "status", 503)
-            self._reply(status, {"error": str(exc)})
+            status = self._error_reply(exc, default_status=503)
         finally:
             self._log_access(status, start)
 
@@ -370,6 +454,13 @@ def serve_artifact(
     cache_size: int = 4096,
     max_batch_delay: float = 0.0,
     workers: int = 1,
+    deadline_s: Optional[float] = None,
+    max_inflight: Optional[int] = None,
+    shed_queue_s: float = 0.1,
+    max_retries: int = 2,
+    breaker_threshold: int = 5,
+    breaker_window_s: float = 30.0,
+    chaos=None,
     verbose: bool = False,
 ) -> DecisionService:
     """Load an artifact directory and build a (not yet started) service.
@@ -379,9 +470,27 @@ def serve_artifact(
     :class:`~repro.serving.dispatcher.EngineDispatcher`: N forked
     engine workers sharing the model read-only through the shm arena,
     with ``POST /v1/admin/reload`` blue/green swaps enabled.
+
+    ``deadline_s`` / ``max_inflight`` / ``shed_queue_s`` /
+    ``max_retries`` / ``chaos`` shape the dispatcher's resilience layer
+    (per-request deadlines, admission control, reroute retries, fault
+    injection) — they apply to the multi-worker tier only and are
+    rejected for ``workers=1``, where there is no worker pipe to bound.
+    ``breaker_threshold`` deaths within ``breaker_window_s`` evict a
+    worker slot; chaos soaks should raise the threshold above the
+    injected death rate (the breaker targets deterministic crash
+    loops, not recoverable fault storms).
     """
     if int(workers) < 1:
         raise ValidationError("workers must be a positive integer")
+    resilience_requested = (
+        deadline_s is not None or max_inflight is not None or chaos is not None
+    )
+    if int(workers) == 1 and resilience_requested:
+        raise ValidationError(
+            "deadline/admission/chaos knobs need the multi-worker tier "
+            "(serve with workers >= 2)"
+        )
     artifact = load_artifact(artifact_path)
     if int(workers) == 1:
         engine = InferenceEngine(
@@ -399,6 +508,13 @@ def serve_artifact(
             batch_size=batch_size,
             cache_size=cache_size,
             max_batch_delay=max_batch_delay,
+            deadline_s=deadline_s,
+            max_inflight=max_inflight,
+            shed_queue_s=shed_queue_s,
+            max_retries=max_retries,
+            breaker_threshold=breaker_threshold,
+            breaker_window_s=breaker_window_s,
+            chaos=chaos,
         )
     try:
         return DecisionService(engine, host=host, port=port, verbose=verbose)

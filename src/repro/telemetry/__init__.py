@@ -28,6 +28,8 @@ from repro.telemetry.metrics import (
     prometheus_text,
     relabel_snapshot,
     snapshot_diff,
+    sum_counter,
+    sum_gauge,
 )
 from repro.telemetry.tracing import (
     Tracer,
@@ -52,4 +54,6 @@ __all__ = [
     "prometheus_text",
     "relabel_snapshot",
     "snapshot_diff",
+    "sum_counter",
+    "sum_gauge",
 ]

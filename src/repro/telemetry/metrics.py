@@ -347,6 +347,36 @@ def merge_snapshots(snapshots: Sequence[Dict]) -> Dict:
     return merged.snapshot()
 
 
+def sum_counter(snapshot: Dict, name: str) -> float:
+    """Sum one counter series across every label combination.
+
+    The reduction half of :func:`relabel_snapshot`: after worker deltas
+    are merged under ``worker="<i>"`` labels, the unlabelled total of a
+    series (e.g. ``serving_requests_total``) is the sum over all its
+    labelled keys.  Resilience series added by the PR 9 dispatcher
+    (``serving_deadline_kills_total``, ``serving_shed_total``,
+    ``serving_worker_evictions_total``, ...) reduce the same way.
+    """
+    return sum(
+        value
+        for key, value in snapshot.get("counters", {}).items()
+        if parse_metric_key(key)[0] == name
+    )
+
+
+def sum_gauge(snapshot: Dict, name: str) -> float:
+    """Sum one gauge series across every label combination.
+
+    Meaningful for additive gauges (per-worker cache entry counts, live
+    slot counts); last-write-wins gauges should be read per label.
+    """
+    return sum(
+        value
+        for key, value in snapshot.get("gauges", {}).items()
+        if parse_metric_key(key)[0] == name
+    )
+
+
 def relabel_snapshot(snapshot: Optional[Dict], labels: Mapping[str, str]) -> Dict:
     """Fold ``labels`` into every metric key of ``snapshot``.
 

@@ -1,0 +1,101 @@
+"""Unit tests for the serving chaos fault plane (config + draws)."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serving.chaos import CHAOS_ENV, ChaosConfig, ChaosPlane
+
+
+class TestChaosConfig:
+    def test_parse_roundtrip(self):
+        config = ChaosConfig.parse(
+            "crash=0.02, hang=0.01, slow=0.05, slow_ms=30, seed=7"
+        )
+        assert config.crash == 0.02
+        assert config.hang == 0.01
+        assert config.slow == 0.05
+        assert config.slow_ms == 30.0
+        assert config.seed == 7
+        assert config.enabled
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ValidationError):
+            ChaosConfig.parse("explode=1.0")
+
+    def test_parse_rejects_malformed_entry(self):
+        with pytest.raises(ValidationError):
+            ChaosConfig.parse("crash")
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValidationError):
+            ChaosConfig(crash=1.5)
+        with pytest.raises(ValidationError):
+            ChaosConfig(crash=-0.1)
+        with pytest.raises(ValidationError):
+            ChaosConfig(crash=0.6, hang=0.6)  # sum > 1
+
+    def test_disabled_by_default(self):
+        assert not ChaosConfig().enabled
+
+    def test_token_faults_count_as_enabled(self, tmp_path):
+        assert ChaosConfig(hang_once=str(tmp_path / "token")).enabled
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert ChaosConfig.from_env() is None
+        monkeypatch.setenv(CHAOS_ENV, "crash=0.5,seed=3")
+        config = ChaosConfig.from_env()
+        assert config == ChaosConfig(crash=0.5, seed=3)
+        monkeypatch.setenv(CHAOS_ENV, "  ")
+        assert ChaosConfig.from_env() is None
+
+
+class TestChaosPlane:
+    def test_certain_fault_always_fires(self):
+        plane = ChaosPlane(ChaosConfig(crash=1.0, seed=0))
+        assert all(plane.draw() == "crash" for _ in range(20))
+
+    def test_no_fault_when_disabled(self):
+        plane = ChaosPlane(ChaosConfig(), worker_index=1)
+        assert all(plane.draw() is None for _ in range(20))
+
+    def test_seeded_draws_are_deterministic_per_worker(self):
+        config = ChaosConfig(crash=0.2, hang=0.2, slow=0.2, seed=42)
+        plane = ChaosPlane(config, worker_index=0)
+        first = [plane.draw() for _ in range(50)]
+        replay = ChaosPlane(config, worker_index=0)
+        assert [replay.draw() for _ in range(50)] == first
+        sibling = ChaosPlane(config, worker_index=1)
+        assert [sibling.draw() for _ in range(50)] != first
+
+    def test_mixed_probabilities_cover_all_kinds(self):
+        plane = ChaosPlane(
+            ChaosConfig(crash=0.25, hang=0.25, slow=0.25, corrupt=0.25, seed=1)
+        )
+        kinds = {plane.draw() for _ in range(200)}
+        assert kinds == {"crash", "hang", "slow", "corrupt"}
+
+    def test_one_shot_token_claimed_exactly_once(self, tmp_path):
+        token = tmp_path / "hang-token"
+        token.write_text("x")
+        plane = ChaosPlane(ChaosConfig(hang_once=str(token)), worker_index=0)
+        assert plane.draw() == "hang"
+        assert not os.path.exists(str(token))
+        assert plane.draw() is None  # token spent
+
+    def test_slow_inject_returns_and_sleeps_briefly(self):
+        plane = ChaosPlane(ChaosConfig(slow=1.0, slow_ms=1.0, seed=0))
+        assert plane.inject(conn=None) is False  # answered normally after
+
+    def test_corrupt_inject_consumes_request(self):
+        sent = []
+
+        class _Conn:
+            def send(self, frame):
+                sent.append(frame)
+
+        plane = ChaosPlane(ChaosConfig(corrupt=1.0, seed=0))
+        assert plane.inject(_Conn()) is True
+        assert len(sent) == 1 and sent[0][0] == "chaos-corrupt-frame"

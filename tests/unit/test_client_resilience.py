@@ -1,0 +1,160 @@
+"""HTTPClient retry budget + typed 429/503 error surface.
+
+A scripted stdlib HTTP server stands in for the decision service so
+these tests pin the *client* contract precisely: which statuses are
+retried, which fail fast, how ``Retry-After`` is parsed, and which
+typed exception each status maps to — without forking engine workers.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.serving.client import (
+    HTTPClient,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
+    service_error,
+)
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Answers each request with the next scripted (status, body, headers)."""
+
+    def _serve(self):
+        script = self.server.script
+        with self.server.script_lock:
+            self.server.hits += 1
+            step = script[min(self.server.hits - 1, len(script) - 1)]
+        status, body, headers = step
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    do_GET = do_POST = _serve
+
+    def log_message(self, *args):  # quiet
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    servers = []
+
+    def _start(script):
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+        server.script = script
+        server.script_lock = threading.Lock()
+        server.hits = 0
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append((server, thread))
+        return server
+
+    yield _start
+    for server, thread in servers:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def _client(server, **kwargs):
+    kwargs.setdefault("backoff_s", 0.01)
+    return HTTPClient("127.0.0.1", server.server_address[1], **kwargs)
+
+
+class TestTypedErrors:
+    def test_429_maps_to_overloaded_with_retry_fields(self, scripted_server):
+        server = scripted_server([
+            (429, {"error": "shed", "retry_after_s": 0.25, "worker": None}, {}),
+        ])
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            _client(server, retries=0).health()
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s == 0.25
+
+    def test_503_maps_to_unavailable_with_worker(self, scripted_server):
+        server = scripted_server([
+            (503, {"error": "down", "retry_after_s": 0.5, "worker": 1}, {}),
+        ])
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            _client(server, retries=0).health()
+        assert excinfo.value.retry_after_s == 0.5
+        assert excinfo.value.worker == 1
+
+    def test_retry_after_header_is_the_fallback(self, scripted_server):
+        server = scripted_server([
+            (503, {"error": "down"}, {"Retry-After": "2"}),
+        ])
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            _client(server, retries=0).health()
+        assert excinfo.value.retry_after_s == 2.0
+
+    def test_400_stays_plain_service_error(self, scripted_server):
+        server = scripted_server([(400, {"error": "bad"}, {})])
+        with pytest.raises(ServiceError) as excinfo:
+            _client(server, retries=3).health()
+        assert excinfo.value.status == 400
+        assert not isinstance(
+            excinfo.value, (ServiceOverloadedError, ServiceUnavailableError)
+        )
+
+    def test_unreachable_socket_is_unavailable(self):
+        client = HTTPClient("127.0.0.1", 1, timeout=0.5, retries=0)
+        with pytest.raises(ServiceUnavailableError):
+            client.health()
+
+    def test_service_error_factory(self):
+        assert isinstance(service_error("x", 429), ServiceOverloadedError)
+        assert isinstance(service_error("x", 503), ServiceUnavailableError)
+        assert type(service_error("x", 404)) is ServiceError
+
+
+class TestRetryBudget:
+    def test_retries_transient_503_then_succeeds(self, scripted_server):
+        server = scripted_server([
+            (503, {"error": "down", "retry_after_s": 0.01, "worker": None}, {}),
+            (503, {"error": "down", "retry_after_s": 0.01, "worker": None}, {}),
+            (200, {"status": "ok"}, {}),
+        ])
+        answer = _client(server, retries=2).health()
+        assert answer == {"status": "ok"}
+        assert server.hits == 3
+
+    def test_retries_429_honouring_budget(self, scripted_server):
+        server = scripted_server([
+            (429, {"error": "shed", "retry_after_s": 0.01, "worker": None}, {}),
+        ])
+        with pytest.raises(ServiceOverloadedError):
+            _client(server, retries=2).health()
+        assert server.hits == 3  # initial attempt + 2 retries, then give up
+
+    def test_4xx_is_never_retried(self, scripted_server):
+        server = scripted_server([(404, {"error": "nope"}, {})])
+        with pytest.raises(ServiceError):
+            _client(server, retries=5).health()
+        assert server.hits == 1
+
+    def test_zero_retries_fails_fast(self, scripted_server):
+        server = scripted_server([
+            (503, {"error": "down", "retry_after_s": 0.01, "worker": None}, {}),
+        ])
+        with pytest.raises(ServiceUnavailableError):
+            _client(server, retries=0).health()
+        assert server.hits == 1
+
+    def test_backoff_honours_retry_after_hint_under_cap(self, scripted_server):
+        server = scripted_server([(200, {"status": "ok"}, {})])
+        client = _client(server, retries=2, backoff_s=0.01, backoff_max_s=0.5)
+        hinted = client._backoff(0, service_error("x", 503, retry_after_s=0.3))
+        assert 0.3 <= hinted <= 0.5
+        capped = client._backoff(0, service_error("x", 503, retry_after_s=60.0))
+        assert capped <= 0.5

@@ -10,13 +10,17 @@ leaking shared-memory segments.
 import json
 import os
 import signal
+import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.exceptions import ReproError, ValidationError
 from repro.serving import (
+    AdmissionError,
     ArtifactError,
+    ChaosConfig,
     DispatchError,
     EngineDispatcher,
     InferenceEngine,
@@ -151,11 +155,122 @@ class TestCrashRecovery:
             victim = dispatcher._workers[0].process
             os.kill(victim.pid, signal.SIGKILL)
             victim.join(timeout=5.0)
-            for _ in range(6):  # hits both workers
+            # Requests survive throughout: the first to hit the dead
+            # slot is rerouted to the live peer, never failed.
+            for _ in range(6):
                 assert np.array_equal(dispatcher.score(records), baseline)
-            stats = dispatcher.stats()["workers"]
+            # The probe respawns the slot in the background (backoff +
+            # ping verification), so rotation recovers shortly after.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                stats = dispatcher.stats()["workers"]
+                if stats["alive"] == 2:
+                    break
+                time.sleep(0.05)
             assert stats["respawns"] >= 1
             assert stats["alive"] == 2
+            assert np.array_equal(dispatcher.score(records), baseline)
+        finally:
+            dispatcher.stop()
+
+
+class TestAdmission:
+    def test_overload_is_shed_with_429_and_retry_hint(
+        self, artifact_dir, records
+    ):
+        # One worker that answers slowly (chaos slow fault on every
+        # request), one admission slot, a 20 ms queue budget: of three
+        # simultaneous calls one is served and the others are shed.
+        dispatcher = EngineDispatcher(
+            load_artifact(artifact_dir),
+            n_workers=1,
+            cache_size=0,
+            max_inflight=1,
+            shed_queue_s=0.02,
+            chaos=ChaosConfig(slow=1.0, slow_ms=400.0, seed=5),
+        )
+        try:
+            outcomes = []
+            barrier = threading.Barrier(3)
+
+            def call():
+                barrier.wait()
+                try:
+                    dispatcher.score(records)
+                    outcomes.append(("ok", None))
+                except DispatchError as exc:
+                    outcomes.append((exc.status, exc))
+
+            threads = [threading.Thread(target=call) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            statuses = [status for status, _ in outcomes]
+            assert statuses.count("ok") >= 1
+            assert statuses.count(429) >= 1
+            shed_exc = next(exc for status, exc in outcomes if status == 429)
+            assert isinstance(shed_exc, AdmissionError)
+            assert shed_exc.retry_after_s and shed_exc.retry_after_s > 0
+            assert dispatcher.stats()["resilience"]["shed"] >= 1
+        finally:
+            dispatcher.stop()
+
+    def test_unbounded_by_default(self, dispatcher):
+        assert dispatcher.max_inflight is None
+        assert dispatcher.stats()["resilience"]["inflight"] == 0
+
+
+class TestBreaker:
+    def test_crash_loop_evicts_then_probe_readmits(
+        self, artifact_dir, records
+    ):
+        dispatcher = EngineDispatcher(
+            load_artifact(artifact_dir),
+            n_workers=1,
+            cache_size=0,
+            max_retries=1,
+            breaker_threshold=1,
+            evict_probation_s=30.0,  # held open until the test heals it
+            backoff_base_s=0.02,
+            probe_interval_s=0.02,
+            chaos=ChaosConfig(crash=1.0, seed=2),
+        )
+        try:
+            # Every attempt crashes its worker; with the only slot dead
+            # the request surfaces a definitive 503.
+            with pytest.raises(DispatchError) as excinfo:
+                dispatcher.score(records)
+            assert excinfo.value.status == 503
+            assert dispatcher.stats()["resilience"]["evictions"] >= 1
+            assert dispatcher.health()["status"] == "unavailable"
+            assert dispatcher.health()["workers_evicted"] == [0]
+            # Breaker open: refusals are fast (no deadline burn) and
+            # carry a retry hint.
+            t0 = time.perf_counter()
+            with pytest.raises(DispatchError) as refused:
+                dispatcher.score(records)
+            assert time.perf_counter() - t0 < 1.0
+            assert refused.value.status == 503
+            assert refused.value.retry_after_s is not None
+            # Heal the fault and let probation expire: the probe
+            # respawns, ping-verifies, and re-admits the slot.
+            dispatcher._chaos = None
+            for worker in dispatcher._workers:
+                worker.not_before = 0.0
+            deadline = time.monotonic() + 15.0
+            answer = None
+            while time.monotonic() < deadline:
+                try:
+                    answer = dispatcher.score(records)
+                    break
+                except DispatchError:
+                    time.sleep(0.05)
+            assert answer is not None
+            assert dispatcher.health()["status"] == "ok"
+            resilience = dispatcher.stats()["resilience"]
+            assert resilience["readmissions"] >= 1
+            assert resilience["evicted"] == []
         finally:
             dispatcher.stop()
 
