@@ -1,0 +1,272 @@
+"""Online learning loop under live traffic (ISSUE 10 acceptance).
+
+Drives the drift-response controller end to end over real sockets: a
+small client pool hammers ``/v1/decide`` on a two-worker service with
+``online_refit=True`` while the bench injects a covariate shift into
+the request stream and clocks the loop closing:
+
+- ``online_refit_mean_s`` — mean warm-refit latency, read back from
+  the ``online_refit_seconds`` histogram on ``/v1/metrics`` (the refit
+  runs off the request path, so this bounds *staleness*, not service
+  latency);
+- ``online_drift_to_reload_s`` — wall time from the first shifted
+  request to the blue/green reload of the refreshed artifact landing;
+- ``online_served_p99_s`` — client-observed p99 *during* the
+  drift-and-refit phase: the hot swap must not dent the serving path.
+
+Gate flags:
+
+- ``online_refit_ok`` — at least one warm refit ran, zero controller
+  failures, zero client errors across the whole run;
+- ``drift_reload_ok`` — the closed loop landed: reload counted, the
+  active checksum changed, and the served artifact reports
+  ``online_version >= 1``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_online.py --quick
+    PYTHONPATH=src python benchmarks/bench_online.py \
+        --label pr10-online --out BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.compas import generate_compas
+from repro.serving import (
+    HTTPClient,
+    fit_serving_pipeline,
+    save_artifact,
+    serve_artifact,
+)
+
+CLIENTS = 3
+WORKERS = 2
+REFRESH_WINDOW = 64
+SHIFT = 25.0
+COOLDOWN_S = 0.5
+
+
+def _get(host: str, port: int, path: str):
+    with urllib.request.urlopen(f"http://{host}:{port}{path}", timeout=10) as r:
+        return json.loads(r.read())
+
+
+def _metrics_value(host: str, port: int, name: str) -> float:
+    """One scalar series from the Prometheus text on ``/v1/metrics``."""
+    url = f"http://{host}:{port}/v1/metrics"
+    with urllib.request.urlopen(url, timeout=10) as r:
+        text = r.read().decode("utf-8")
+    for line in text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            return float(line.rsplit(" ", 1)[1])
+    return float("nan")
+
+
+def bench_online(quick: bool = True) -> dict:
+    """The online-loop rows: refit latency, drift-to-reload, served p99."""
+    steady_s = 1.0 if quick else 3.0
+    settle_s = 1.5 if quick else 4.0
+    entry: dict = {
+        "online_clients": CLIENTS,
+        "online_workers": WORKERS,
+        "online_refresh_window": REFRESH_WINDOW,
+        "online_shift": SHIFT,
+        "online_cooldown_s": COOLDOWN_S,
+    }
+
+    dataset = generate_compas(300, charge_levels=8, random_state=7)
+    # Pool no larger than the window, so steady traffic reads as steady
+    # (see the README's refresh-window sizing guidance).
+    X = dataset.X[:REFRESH_WINDOW]
+    groups = dataset.protected[:REFRESH_WINDOW]
+
+    with tempfile.TemporaryDirectory(prefix="bench_online_") as root:
+        artifact = fit_serving_pipeline(
+            dataset, n_prototypes=4, max_iter=25, random_state=7
+        )
+        path = save_artifact(f"{root}/artifact", artifact)
+        service = serve_artifact(
+            path,
+            port=0,
+            workers=WORKERS,
+            batch_size=32,
+            online_refit=True,
+            refresh_window=REFRESH_WINDOW,
+            drift_policy="shift",
+            refit_cooldown_s=COOLDOWN_S,
+        ).start()
+        try:
+            host, port = service.address
+            checksum0 = _get(host, port, "/v1/health")["artifact_checksum"]
+
+            errors: list = []
+            samples: list = []  # (timestamp, latency_s)
+            stop = threading.Event()
+            shifted = threading.Event()
+
+            def hammer(thread_id: int) -> None:
+                client = HTTPClient(host, port)
+                i = thread_id
+                while not stop.is_set():
+                    lo = (i * 8) % (X.shape[0] - 8)
+                    rows = X[lo : lo + 8] + (SHIFT if shifted.is_set() else 0.0)
+                    start = time.perf_counter()
+                    try:
+                        answer = client.decide(
+                            rows.tolist(), groups[lo : lo + 8].tolist()
+                        )
+                        assert len(answer["decisions"]) == 8
+                    except Exception as exc:  # noqa: BLE001 - ledger, not flow
+                        errors.append(repr(exc))
+                        return
+                    samples.append((start, time.perf_counter() - start))
+                    i += 1
+                    time.sleep(0.005)
+
+            threads = [
+                threading.Thread(target=hammer, args=(k,))
+                for k in range(CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                # phase 1: steady traffic fills the window and the
+                # baseline calibrates (median over several ticks)
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    status = _get(host, port, "/v1/admin/online")
+                    if (
+                        status["window_rows"] >= REFRESH_WINDOW
+                        and status["baseline_cost"] is not None
+                    ):
+                        break
+                    time.sleep(0.1)
+                time.sleep(steady_s)
+
+                # phase 2: inject the shift, clock the loop closing
+                t_shift = time.perf_counter()
+                shifted.set()
+                reload_s = float("inf")
+                deadline = time.time() + 60
+                while time.time() < deadline:
+                    status = _get(host, port, "/v1/admin/online")
+                    if status["reloads"] >= 1:
+                        reload_s = time.perf_counter() - t_shift
+                        break
+                    time.sleep(0.05)
+                t_reload = time.perf_counter()
+
+                # phase 3: let the swapped model settle under traffic
+                time.sleep(settle_s)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=60)
+
+            status = _get(host, port, "/v1/admin/online")
+            health = _get(host, port, "/v1/health")
+            refit_count = _metrics_value(
+                host, port, "online_refit_seconds_count"
+            )
+            refit_sum = _metrics_value(host, port, "online_refit_seconds_sum")
+        finally:
+            service.stop()
+
+    during = sorted(
+        lat for (at, lat) in samples if t_shift <= at <= t_reload + settle_s
+    )
+    entry["online_requests"] = len(samples)
+    entry["online_errors"] = len(errors)
+    entry["online_refits"] = status["refits"]
+    entry["online_reloads"] = status["reloads"]
+    entry["online_failures"] = status["failures"]
+    entry["online_drift_to_reload_s"] = reload_s
+    entry["online_refit_mean_s"] = (
+        refit_sum / refit_count if refit_count else float("inf")
+    )
+    if during:
+        entry["online_served_p50_s"] = during[len(during) // 2]
+        entry["online_served_p99_s"] = during[
+            min(len(during) - 1, int(len(during) * 0.99))
+        ]
+    else:
+        entry["online_served_p50_s"] = entry["online_served_p99_s"] = float(
+            "inf"
+        )
+
+    entry["online_refit_ok"] = bool(
+        status["refits"] >= 1
+        and status["failures"] == 0
+        and not errors
+        and len(samples) > 0
+    )
+    entry["drift_reload_ok"] = bool(
+        status["reloads"] >= 1
+        and np.isfinite(reload_s)
+        and health["artifact_checksum"] != checksum0
+        and health["metadata"].get("online_version", 0) >= 1
+    )
+    return entry
+
+
+def print_summary(entry: dict) -> None:
+    print(
+        f"online loop ({entry['online_clients']} clients, "
+        f"{entry['online_workers']} workers, window "
+        f"{entry['online_refresh_window']}): "
+        f"{entry['online_requests']} requests, "
+        f"{entry['online_errors']} errors; "
+        f"refit {entry['online_refit_mean_s'] * 1e3:.0f} ms, "
+        f"drift-to-reload {entry['online_drift_to_reload_s']:.2f} s, "
+        f"served p99 during swap "
+        f"{entry['online_served_p99_s'] * 1e3:.1f} ms; "
+        f"{entry['online_refits']} refits, {entry['online_reloads']} "
+        f"reloads, {entry['online_failures']} failures"
+    )
+    for flag in ("online_refit_ok", "drift_reload_ok"):
+        print(f"  {flag}: {'OK' if entry[flag] else 'FAILED'}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="short measurement")
+    parser.add_argument("--label", default="online", help="trajectory entry label")
+    parser.add_argument(
+        "--out", default=None,
+        help="append the entry to this trajectory JSON (optional)",
+    )
+    args = parser.parse_args()
+
+    entry = {
+        "label": args.label,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+    entry.update(bench_online(quick=args.quick))
+    print_summary(entry)
+    if args.out:
+        path = Path(args.out)
+        if path.exists():
+            doc = json.loads(path.read_text())
+        else:
+            doc = {"benchmark": "core-ops", "entries": []}
+        doc["entries"].append(entry)
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {path} ({len(doc['entries'])} entries)")
+
+
+if __name__ == "__main__":
+    main()

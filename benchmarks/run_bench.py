@@ -334,6 +334,21 @@ def bench_chaos_rows(quick: bool) -> dict:
     return bench_chaos.bench_chaos(quick=quick)
 
 
+def bench_online_rows(quick: bool) -> dict:
+    """Online drift-response rows (PR 10), from :mod:`bench_online`.
+
+    The closed loop under live traffic: warm-refit latency, wall time
+    from injected covariate shift to the blue/green reload landing,
+    and the client-observed p99 during the swap.
+    """
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import bench_online
+
+    return bench_online.bench_online(quick=quick)
+
+
 # ----------------------------------------------------------------------
 # telemetry overhead (PR 6)
 
@@ -628,6 +643,11 @@ GATE_MUST_STAY_TRUE = (
     # (envelope slack is cpu-count-conditioned inside bench_chaos).
     "chaos_error_rate_ok",
     "chaos_shed_p99_ok",
+    # Online drift response: the closed loop must land (refit + reload
+    # + checksum change + online_version on the served artifact) with
+    # zero controller failures and zero client errors.
+    "online_refit_ok",
+    "drift_reload_ok",
 )
 
 
@@ -691,6 +711,7 @@ def run(label: str, quick: bool, tune_jobs: int, trace_out=None) -> dict:
     entry.update(bench_load_rows(quick))
     entry.update(bench_sharded_rows(quick))
     entry.update(bench_chaos_rows(quick))
+    entry.update(bench_online_rows(quick))
     entry.update(bench_telemetry(repeats, trace_out=trace_out))
     entry.update(bench_tuning(tune_jobs, quick=quick))
     return entry
@@ -754,6 +775,15 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--online",
+        action="store_true",
+        help=(
+            "only measure the online drift-response loop (warm-refit "
+            "latency, drift-to-reload wall time, served p99 during "
+            "the hot swap) and append the entry"
+        ),
+    )
+    parser.add_argument(
         "--compare",
         metavar="BASELINE.json",
         default=None,
@@ -788,7 +818,9 @@ def main() -> None:
             raise SystemExit(2)
         baseline_doc = json.loads(baseline_path.read_text())
 
-    single_mode = args.scaling or args.load or args.sharded or args.chaos
+    single_mode = (
+        args.scaling or args.load or args.sharded or args.chaos or args.online
+    )
     if single_mode:
         entry = {
             "label": args.label,
@@ -805,6 +837,8 @@ def main() -> None:
             entry.update(bench_sharded_rows(args.quick))
         if args.chaos:
             entry.update(bench_chaos_rows(args.quick))
+        if args.online:
+            entry.update(bench_online_rows(args.quick))
     else:
         entry = run(args.label, args.quick, args.tune_jobs, trace_out=args.trace_out)
     path = Path(args.out)
@@ -850,6 +884,10 @@ def main() -> None:
         import bench_chaos  # already on sys.path via bench_chaos_rows
 
         bench_chaos.print_summary(entry)
+    if "online_drift_to_reload_s" in entry:
+        import bench_online  # already on sys.path via bench_online_rows
+
+        bench_online.print_summary(entry)
     if single_mode:
         _gate_and_exit(args, entry, baseline_doc)
         return

@@ -47,6 +47,7 @@ import numpy as np
 from scipy import optimize
 
 from repro.exceptions import NotFittedError, ValidationError
+from repro.learners.base import ParamsMixin
 from repro.utils import kernels
 from repro.utils.landmarks import select_landmarks
 from repro.utils.mathkit import softmax, weighted_minkowski_to_prototypes
@@ -236,7 +237,7 @@ class LFRRestart:
     converged: bool
 
 
-class LFR:
+class LFR(ParamsMixin):
     """LFR estimator: representation + built-in classifier.
 
     Parameters mirror Zemel et al.: ``a_x``/``a_y``/``a_z`` weight
@@ -246,6 +247,10 @@ class LFR:
     landmark individual-fairness regulariser (``n_landmarks`` anchors,
     seeded by ``landmark_method`` under ``random_state``); the default
     ``0`` is the classic objective.
+
+    ``get_params(deep=True)`` / ``set_params`` follow the sklearn
+    estimator protocol (see :class:`repro.learners.base.ParamsMixin`),
+    so instances survive ``sklearn.base.clone``.
     """
 
     def __init__(

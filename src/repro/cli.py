@@ -210,6 +210,47 @@ def build_parser() -> argparse.ArgumentParser:
             "default 100)"
         ),
     )
+    serve.add_argument(
+        "--online-refit",
+        action="store_true",
+        help=(
+            "attach the drift-response controller (multi-worker tier "
+            "only): served traffic is buffered in a sliding window, "
+            "fairness drift / covariate shift triggers a warm "
+            "partial_fit refit over the window and a blue/green "
+            "hot-swap of the refreshed model"
+        ),
+    )
+    serve.add_argument(
+        "--refresh-window",
+        type=int,
+        default=512,
+        help=(
+            "sliding-window rows the online controller buffers for the "
+            "shift statistic, landmark re-anchoring and refits "
+            "(requires --online-refit; default 512)"
+        ),
+    )
+    serve.add_argument(
+        "--drift-policy",
+        choices=("monitor", "shift", "either", "both"),
+        default="either",
+        help=(
+            "which signal schedules an online refit: the fairness "
+            "monitor's drift flags, the covariate shift statistic, "
+            "either (default), or only when both agree "
+            "(requires --online-refit)"
+        ),
+    )
+    serve.add_argument(
+        "--refit-cooldown",
+        type=float,
+        default=30.0,
+        help=(
+            "minimum seconds between automatic online refits "
+            "(requires --online-refit; default 30)"
+        ),
+    )
     _add_logging_flags(serve)
     return parser
 
@@ -469,9 +510,23 @@ def _cmd_fit_save(args) -> int:
     return 0
 
 
+def _check_online_args(args) -> None:
+    """Online knobs require the controller — fail loudly rather than
+    silently serving without the drift response the user tuned."""
+    if args.online_refit:
+        return
+    if args.refresh_window != 512:
+        raise ReproError("--refresh-window requires --online-refit")
+    if args.drift_policy != "either":
+        raise ReproError("--drift-policy requires --online-refit")
+    if args.refit_cooldown != 30.0:
+        raise ReproError("--refit-cooldown requires --online-refit")
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import serve_artifact
 
+    _check_online_args(args)
     # serve_artifact loads first, so artifact problems report as
     # artifact errors and only a failing socket bind as a bind error
     # (worker processes are also torn down on a failed bind).
@@ -487,6 +542,10 @@ def _cmd_serve(args) -> int:
             deadline_s=(args.deadline_ms / 1000.0) if args.deadline_ms > 0 else None,
             max_inflight=args.max_inflight if args.max_inflight > 0 else None,
             shed_queue_s=args.shed_queue_ms / 1000.0,
+            online_refit=args.online_refit,
+            refresh_window=args.refresh_window,
+            drift_policy=args.drift_policy,
+            refit_cooldown_s=args.refit_cooldown,
             verbose=True,
         )
     except OSError as exc:
@@ -495,6 +554,8 @@ def _cmd_serve(args) -> int:
     host, port = service.address
     endpoints = ", ".join(service.engine.endpoints())
     tier = f"{args.workers} workers" if args.workers > 1 else "in-process"
+    if args.online_refit:
+        tier += f", online refit ({args.drift_policy})"
     print(
         f"serving {args.artifact} on http://{host}:{port} "
         f"({endpoints}; {tier})"

@@ -17,6 +17,7 @@ keeps the restart with the lowest training loss.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -35,6 +36,7 @@ from repro.core.executor import (
 from repro.core.objective import PAIR_MODES, IFairObjective
 from repro.core.shards import SHARD_BATCH_MODES, ShardedLandmarkOracle
 from repro.exceptions import NotFittedError, ValidationError
+from repro.learners.base import ParamsMixin
 from repro.telemetry.metrics import get_registry
 from repro.telemetry.tracing import get_tracer
 from repro.utils.landmarks import LANDMARK_METHODS
@@ -163,7 +165,7 @@ def _restart_task(payload: Tuple[int, int]) -> Tuple["RestartRecord", np.ndarray
     return model._run_restart(objective, bounds, seed, index=index)
 
 
-class IFair:
+class IFair(ParamsMixin):
     """Individually fair representation learner.
 
     Parameters
@@ -387,7 +389,9 @@ class IFair:
         self.loss_: float = np.inf
         self.restarts_: List[RestartRecord] = []
         self.landmarks_: Optional[np.ndarray] = None
+        self.n_partial_fits_: int = 0
         self._protected: Optional[np.ndarray] = None
+        self._window: Optional[deque] = None
 
     # ------------------------------------------------------------------
 
@@ -577,32 +581,103 @@ class IFair:
         ) as pool:
             return pool.map(list(enumerate(seeds)))
 
-    def get_params(self) -> Dict:
-        """Constructor arguments of this estimator (picklable)."""
-        return {
-            "n_prototypes": self.n_prototypes,
-            "lambda_util": self.lambda_util,
-            "mu_fair": self.mu_fair,
-            "p": self.p,
-            "init": self.init,
-            "protected_alpha_init": self.protected_alpha_init,
-            "n_restarts": self.n_restarts,
-            "max_iter": self.max_iter,
-            "tol": self.tol,
-            "max_pairs": self.max_pairs,
-            "pair_mode": self.pair_mode,
-            "n_landmarks": self.n_landmarks,
-            "landmark_method": self.landmark_method,
-            "n_jobs": self.n_jobs,
-            "backend": self.backend,
-            "pool": self.pool,
-            "warm_start_theta": self.warm_start_theta,
-            "oracle_jobs": self.oracle_jobs,
-            "oracle_shards": self.oracle_shards,
-            "batch_mode": self.batch_mode,
-            "batch_size": self.batch_size,
-            "random_state": self.random_state,
-        }
+    # get_params/set_params come from ParamsMixin: constructor-argument
+    # introspection yields exactly the historical explicit dict (every
+    # __init__ argument is stored under its own name), so the executor
+    # worker-state channel and the artifact manifest see an unchanged
+    # contract.
+
+    def partial_fit(
+        self,
+        X_increment,
+        protected_indices=None,
+        *,
+        window_size: int = 2048,
+    ) -> "IFair":
+        """Warm-started incremental refit over a sliding window.
+
+        Appends ``X_increment`` to a bounded buffer of the most recent
+        ``window_size`` rows and refits over that window, starting the
+        first restart from the current ``theta_`` (when fitted) so the
+        optimiser resumes rather than restarts.  Refit cost is
+        O(window), not O(total stream), and the result is exactly what
+        ``IFair(**params, warm_start_theta=theta).fit(window)`` would
+        produce — bitwise, which is what pins the online serving path
+        to the offline semantics.
+
+        Parameters
+        ----------
+        X_increment:
+            New rows (already encoded/scaled), shape (m, N); a single
+            row is fine.  Until the buffer holds at least 2 rows the
+            refit is deferred (the optimiser needs pairs) and the call
+            only buffers.
+        protected_indices:
+            Protected columns; defaults to the previous fit's.
+        window_size:
+            Buffer bound.  Growing or shrinking it between calls keeps
+            the most recent rows.
+
+        Notes
+        -----
+        Under ``pair_mode="landmark"`` an explicit ``n_landmarks``
+        larger than the current window is capped at the window size for
+        the refit (anchors are rows of the window), without mutating
+        the configured parameter.
+        """
+        X = check_matrix(X_increment, "X_increment", min_rows=1)
+        window_size = int(window_size)
+        if window_size < 2:
+            raise ValidationError("window_size must be at least 2")
+        if self.prototypes_ is not None and X.shape[1] != self.prototypes_.shape[1]:
+            raise ValidationError(
+                f"X_increment has {X.shape[1]} features, model was fitted "
+                f"with {self.prototypes_.shape[1]}"
+            )
+        if self._window is None:
+            self._window = deque(maxlen=window_size)
+        elif self._window.maxlen != window_size:
+            self._window = deque(self._window, maxlen=window_size)
+        if self._window and self._window[0].shape[0] != X.shape[1]:
+            raise ValidationError(
+                f"X_increment has {X.shape[1]} features, the window holds "
+                f"rows with {self._window[0].shape[0]}"
+            )
+        for row in X:
+            self._window.append(row)
+        if len(self._window) < 2:
+            return self  # refit deferred until the window can pair rows
+        if protected_indices is None and self._protected is not None:
+            protected_indices = list(self._protected)
+        W = np.asarray(self._window, dtype=np.float64)
+        saved_warm = self.warm_start_theta
+        saved_landmarks = self.n_landmarks
+        if self.prototypes_ is not None and self.alpha_ is not None:
+            self.warm_start_theta = self.theta_
+        if (
+            self.pair_mode == "landmark"
+            and self.n_landmarks is not None
+            and self.n_landmarks > W.shape[0]
+        ):
+            self.n_landmarks = W.shape[0]
+        get_registry().counter("partial_fit_total").inc()
+        try:
+            with get_tracer().span(
+                "partial_fit",
+                n_new=int(X.shape[0]),
+                n_window=int(W.shape[0]),
+            ):
+                self.fit(W, protected_indices)
+        finally:
+            self.warm_start_theta = saved_warm
+            self.n_landmarks = saved_landmarks
+        self.n_partial_fits_ += 1
+        return self
+
+    @property
+    def n_buffered(self) -> int:
+        """Rows currently held in the ``partial_fit`` window."""
+        return 0 if self._window is None else len(self._window)
 
     def _run_restart(
         self, objective: IFairObjective, bounds, seed: int, *, index: int = -1

@@ -1,20 +1,129 @@
 """Estimator protocols shared by all learners.
 
-The library follows the familiar fit/predict convention.  These tiny
-abstract bases exist so the pipeline code can express "any classifier"
-or "any regressor" without importing a specific implementation.
+The library follows the familiar fit/predict convention.  These bases
+exist so the pipeline code can express "any classifier" or "any
+regressor" without importing a specific implementation, and so every
+estimator speaks one sklearn-compatible parameter protocol:
+
+* ``get_params(deep=True)`` — constructor arguments by introspection of
+  ``__init__`` (the sklearn convention: every constructor argument is
+  stored under an attribute of the same name, unmodified validation
+  aside).  The zero-argument call keeps its historical meaning — a
+  picklable dict of the public constructor parameters — which is what
+  the executor's worker-state channel and the serving artifact
+  round-trip rely on.
+* ``set_params(**params)`` — re-runs ``__init__`` with the merged
+  parameters so every constructor validation fires eagerly, then
+  restores the fitted state (underscore-suffixed and underscore-
+  prefixed attributes), matching sklearn's contract that ``set_params``
+  does not un-fit an estimator.
+
+Together these give ``sklearn.base.clone`` exactly what it needs:
+``type(est)(**est.get_params())`` reconstructs an equivalent unfitted
+estimator, and cloning round-trips every parameter by identity or
+value.
 """
 
 from __future__ import annotations
 
 import abc
+import inspect
 
 import numpy as np
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 
 
-class BaseEstimator(abc.ABC):
+class ParamsMixin:
+    """sklearn-compatible ``get_params`` / ``set_params`` by introspection.
+
+    Requires the sklearn estimator convention the whole library already
+    follows: every explicit ``__init__`` argument is stored under an
+    instance attribute of the same name.
+    """
+
+    @classmethod
+    def _get_param_names(cls):
+        """Constructor argument names, in declaration order."""
+        init = cls.__init__
+        if init is object.__init__:
+            return []
+        names = []
+        for parameter in inspect.signature(init).parameters.values():
+            if parameter.name == "self":
+                continue
+            if parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                raise ValidationError(
+                    f"{cls.__name__}.__init__ must spell out its parameters "
+                    "explicitly to support get_params/set_params"
+                )
+            names.append(parameter.name)
+        return names
+
+    def get_params(self, deep: bool = True) -> dict:
+        """Constructor arguments of this estimator (picklable).
+
+        With ``deep=True`` (the default, and the sklearn semantics),
+        parameters that are themselves estimators additionally
+        contribute their own parameters under ``<name>__<subname>``
+        keys.  No current estimator nests another, so the default and
+        the historical zero-argument behaviour coincide.
+        """
+        out: dict = {}
+        for name in self._get_param_names():
+            value = getattr(self, name)
+            out[name] = value
+            if deep and hasattr(value, "get_params") and not isinstance(value, type):
+                for sub_name, sub_value in value.get_params().items():
+                    out[f"{name}__{sub_name}"] = sub_value
+        return out
+
+    def set_params(self, **params) -> "ParamsMixin":
+        """Update constructor parameters in place; returns ``self``.
+
+        Unknown names raise :class:`~repro.exceptions.ValidationError`
+        (listing the valid ones), constructor validation runs eagerly
+        on the merged parameter set, and fitted state survives — the
+        sklearn contract ``GridSearchCV`` and ``clone`` assume.
+        """
+        if not params:
+            return self
+        valid = self._get_param_names()
+        nested: dict = {}
+        updates: dict = {}
+        for key, value in params.items():
+            name, delim, sub_key = key.partition("__")
+            if name not in valid:
+                raise ValidationError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters are {sorted(valid)}"
+                )
+            if delim:
+                nested.setdefault(name, {})[sub_key] = value
+            else:
+                updates[name] = value
+        if updates:
+            merged = {name: getattr(self, name) for name in valid}
+            merged.update(updates)
+            # __init__ re-validates the full parameter set but also
+            # resets fitted attributes — snapshot and restore them so
+            # set_params never un-fits the estimator.
+            preserved = {
+                key: value
+                for key, value in vars(self).items()
+                if key.startswith("_") or key.endswith("_")
+            }
+            self.__init__(**merged)
+            vars(self).update(preserved)
+        for name, sub_params in nested.items():
+            getattr(self, name).set_params(**sub_params)
+        return self
+
+
+class BaseEstimator(ParamsMixin, abc.ABC):
     """Common plumbing: fitted-state tracking and parameter reporting."""
 
     _fitted: bool = False
@@ -24,14 +133,6 @@ class BaseEstimator(abc.ABC):
             raise NotFittedError(
                 f"{type(self).__name__} must be fitted before calling this method"
             )
-
-    def get_params(self) -> dict:
-        """Public constructor parameters (attributes without underscore)."""
-        return {
-            key: value
-            for key, value in vars(self).items()
-            if not key.startswith("_") and not key.endswith("_")
-        }
 
 
 class Classifier(BaseEstimator):

@@ -97,6 +97,18 @@ class ExperimentConfig:
         Dataset scale used when the runner generates data itself.
     compas_charge_levels:
         Cardinality knob controlling COMPAS encoded width.
+    online_refit:
+        Attach the serving-side drift-response controller when this
+        config is served (``repro serve --online-refit``); see
+        :mod:`repro.serving.online`.
+    refresh_window:
+        Sliding-window row bound of the online controller (shift
+        statistic, landmark re-anchoring, and ``partial_fit`` refits).
+    drift_policy:
+        Which drift signal schedules a refit — one of
+        :data:`repro.serving.online.DRIFT_POLICIES`.
+    refit_cooldown_s:
+        Minimum seconds between automatic online refits.
     random_state:
         Master seed for data generation, splits and optimisation.
     """
@@ -123,6 +135,10 @@ class ExperimentConfig:
     ranking_queries: int = 12
     query_size: int = 25
     compas_charge_levels: int = 30
+    online_refit: bool = False
+    refresh_window: int = 512
+    drift_policy: str = "either"
+    refit_cooldown_s: float = 30.0
     random_state: int = 7
 
     def __post_init__(self):
@@ -177,6 +193,18 @@ class ExperimentConfig:
             raise ValidationError(
                 f"tune_promote must be one of {PROMOTE_MODES}"
             )
+        # Deferred import: repro.serving must stay importable without
+        # the pipeline package and vice versa.
+        from repro.serving.online import DRIFT_POLICIES
+
+        if self.drift_policy not in DRIFT_POLICIES:
+            raise ValidationError(
+                f"drift_policy must be one of {DRIFT_POLICIES}"
+            )
+        if self.refresh_window < 2:
+            raise ValidationError("refresh_window must be at least 2")
+        if self.refit_cooldown_s < 0:
+            raise ValidationError("refit_cooldown_s must be non-negative")
 
     @classmethod
     def fast(cls, random_state: int = 7) -> "ExperimentConfig":

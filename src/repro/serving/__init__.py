@@ -17,6 +17,10 @@ gate that sheds overload with 429 + ``Retry-After``, a crash-loop
 breaker with jittered-backoff respawns and probation-based eviction,
 and a :mod:`~repro.serving.chaos` fault plane (``REPRO_CHAOS``) for
 testing all of it under injected crash/hang/slow/corrupt faults.
+``serve_artifact(..., online_refit=True)`` additionally attaches an
+:class:`~repro.serving.online.OnlineController` that answers fairness
+drift and covariate shift with warm ``partial_fit`` refits over a
+sliding traffic window and blue/green hot-swaps of the refreshed model.
 
 Typical flow::
 
@@ -50,6 +54,7 @@ from repro.serving.dispatcher import (
 )
 from repro.serving.engine import InferenceEngine, LRUCache, MicroBatcher
 from repro.serving.fit import fit_serving_pipeline
+from repro.serving.online import DRIFT_POLICIES, DriftPolicy, OnlineController
 from repro.serving.service import DecisionService, RequestError, dispatch, serve_artifact
 
 __all__ = [
@@ -68,6 +73,9 @@ __all__ = [
     "CHAOS_ENV",
     "ChaosConfig",
     "ChaosPlane",
+    "DRIFT_POLICIES",
+    "DriftPolicy",
+    "OnlineController",
     "DecisionService",
     "RequestError",
     "ServiceError",

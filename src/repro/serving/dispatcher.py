@@ -431,6 +431,9 @@ class EngineDispatcher:
             max_batch_delay=max_batch_delay,
         )
         self.registry = MetricsRegistry()
+        # Attached by serve_artifact(online_refit=True); the HTTP layer
+        # taps data-plane traffic into it and routes /v1/admin/online.
+        self.online_controller = None
         self.started_at = time.time()
         self._ctx = _process_context()
         # Lock order (deadlock-free by construction): _admin_lock ->
@@ -1047,6 +1050,23 @@ class EngineDispatcher:
             "deadline_s": self._deadline_s,
             "max_inflight": self.max_inflight,
         }
+
+    def drift_flags(self) -> Dict:
+        """Fairness drift verdict reduced across worker processes.
+
+        Each worker's engine publishes its monitor's ``fairness_drift``
+        gauge (1.0 when any drift flag is up); the dispatcher sees them
+        relabelled per worker in its merged registry.  ``any`` is true
+        when at least one live window flags — the per-dimension detail
+        stays worker-local, which is all the online controller needs.
+        """
+        snapshot = self.registry.snapshot()
+        flagged = any(
+            float(value) >= 1.0
+            for key, value in snapshot.get("gauges", {}).items()
+            if parse_metric_key(key)[0] == "fairness_drift"
+        )
+        return {"any": flagged}
 
     def stats(self) -> Dict:
         """Traffic/cache counters reduced across workers.

@@ -307,6 +307,9 @@ class InferenceEngine:
         self.monitor = FairnessMonitor(
             artifact.protected_indices, registry=self.registry
         )
+        # Attached by serve_artifact(online_refit=True); the HTTP layer
+        # taps data-plane traffic into it and routes /v1/admin/online.
+        self.online_controller = None
         self.started_at = time.time()
         # Per-request config resolution hoisted out of the hot loop:
         # the artifact's layout is immutable once served, so the
@@ -582,6 +585,14 @@ class InferenceEngine:
         ``status`` + ``resilience`` block across both serving tiers.
         """
         return {"status": "ok", "workers": 1, "workers_alive": 1}
+
+    def drift_flags(self) -> Dict:
+        """The fairness monitor's current drift verdict.
+
+        Uniform surface with :meth:`EngineDispatcher.drift_flags` so
+        the online controller reads one method on either serving tier.
+        """
+        return self.monitor.drift_flags()
 
 
 def serving_endpoints(artifact: ServingArtifact) -> List[str]:

@@ -17,6 +17,9 @@ Endpoints
 ``POST /v1/decide``     ``{"records": ..., "groups": [...]}`` -> decisions
 ``POST /v1/admin/reload``  ``{"artifact": "<dir>"}`` -> blue/green model swap
 (multi-worker tier only; see :mod:`repro.serving.dispatcher`)
+``GET  /v1/admin/online``   drift-response controller status
+``POST /v1/admin/online``   manual warm refit + reload (bypasses policy)
+(``online_refit=True`` services only; see :mod:`repro.serving.online`)
 
 Over HTTP, ``/v1/metrics`` answers with raw ``text/plain`` in the
 Prometheus exposition format; through :func:`dispatch` (the in-process
@@ -137,11 +140,27 @@ def dispatch(
         return health
     if route == ("GET", "/v1/stats"):
         return engine.stats()
+    if route == ("GET", "/v1/admin/online"):
+        controller = getattr(engine, "online_controller", None)
+        if controller is None:
+            return {"enabled": False}
+        return controller.status()
     if route == ("GET", "/v1/metrics"):
         # The HTTP handler unwraps this to a raw text/plain body; the
         # in-process client receives the exposition text under a key.
         return {"prometheus": engine.metrics_text()}
     try:
+        if route == ("POST", "/v1/admin/online"):
+            controller = getattr(engine, "online_controller", None)
+            if controller is None:
+                raise RequestError(
+                    "online refit is not enabled "
+                    "(serve with online_refit=True / --online-refit)"
+                )
+            # trigger() reports failures in its body instead of raising
+            # — a manual refit that fails must not read as a 4xx/5xx of
+            # the serving path, which is still healthy.
+            return controller.trigger()
         if route == ("POST", "/v1/admin/reload"):
             if not hasattr(engine, "reload"):
                 raise RequestError(
@@ -343,7 +362,13 @@ class _Handler(BaseHTTPRequestHandler):
         engine = self.server.engine
         path = self.path.split("?", 1)[0]
         path = path.rstrip("/") or path
-        if hasattr(engine, "handle_http") and path != "/v1/admin/reload":
+        controller = getattr(engine, "online_controller", None)
+        if controller is not None and not path.startswith("/v1/admin"):
+            # Feed the drift-response window.  tap() is a bounded
+            # append that never raises — the request path continues
+            # identically with or without the controller.
+            controller.tap(path, raw)
+        if hasattr(engine, "handle_http") and not path.startswith("/v1/admin"):
             # Admin verbs run in the parent (they orchestrate *all*
             # workers); data-plane verbs ship raw bytes to one worker.
             self._handle_raw(engine, path, raw)
@@ -427,6 +452,11 @@ class DecisionService:
             raise ReproError(message)
 
     def _stop_engine(self) -> None:
+        # The controller schedules reloads through the engine, so it
+        # must stop before the engine is torn down beneath it.
+        controller = getattr(self.engine, "online_controller", None)
+        if controller is not None:
+            controller.stop()
         engine_stop = getattr(self.engine, "stop", None)
         if callable(engine_stop):
             engine_stop()
@@ -461,6 +491,10 @@ def serve_artifact(
     breaker_threshold: int = 5,
     breaker_window_s: float = 30.0,
     chaos=None,
+    online_refit: bool = False,
+    refresh_window: int = 512,
+    drift_policy: str = "either",
+    refit_cooldown_s: float = 30.0,
     verbose: bool = False,
 ) -> DecisionService:
     """Load an artifact directory and build a (not yet started) service.
@@ -480,6 +514,15 @@ def serve_artifact(
     worker slot; chaos soaks should raise the threshold above the
     injected death rate (the breaker targets deterministic crash
     loops, not recoverable fault storms).
+
+    ``online_refit=True`` attaches an
+    :class:`~repro.serving.online.OnlineController`: served traffic is
+    tapped into a ``refresh_window``-row sliding window, drift (per
+    ``drift_policy``, one of :data:`~repro.serving.online.DRIFT_POLICIES`)
+    triggers a warm ``partial_fit`` refit over the window — at most
+    once per ``refit_cooldown_s`` — and the refreshed artifact is
+    hot-swapped through the blue/green reload.  Requires ``workers >=
+    2`` (the single-engine tier cannot reload).
     """
     if int(workers) < 1:
         raise ValidationError("workers must be a positive integer")
@@ -490,6 +533,22 @@ def serve_artifact(
         raise ValidationError(
             "deadline/admission/chaos knobs need the multi-worker tier "
             "(serve with workers >= 2)"
+        )
+    if online_refit and int(workers) == 1:
+        raise ValidationError(
+            "online refit needs the multi-worker tier "
+            "(serve with workers >= 2)"
+        )
+    policy = None
+    if online_refit:
+        from repro.serving.online import DriftPolicy
+
+        # Validate the knobs before any worker is forked.
+        policy = DriftPolicy(
+            policy=drift_policy,
+            refresh_window=int(refresh_window),
+            min_window=min(64, int(refresh_window)),
+            cooldown_s=float(refit_cooldown_s),
         )
     artifact = load_artifact(artifact_path)
     if int(workers) == 1:
@@ -517,9 +576,19 @@ def serve_artifact(
             chaos=chaos,
         )
     try:
+        if policy is not None:
+            from repro.serving.online import OnlineController
+
+            engine.online_controller = OnlineController(
+                engine, artifact_path, policy
+            ).start()
         return DecisionService(engine, host=host, port=port, verbose=verbose)
     except BaseException:
-        # Bind failures must not leak forked workers.
+        # Bind failures must not leak forked workers (or the
+        # controller's background thread).
+        controller = getattr(engine, "online_controller", None)
+        if controller is not None:
+            controller.stop()
         engine_stop = getattr(engine, "stop", None)
         if callable(engine_stop):
             engine_stop()

@@ -23,6 +23,9 @@ landmark oracle collapse exactly onto the full-pair loss at ``L = M``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
 from repro.exceptions import ValidationError
@@ -105,3 +108,142 @@ def select_landmarks(
         np.minimum(d2, _sq_dists_to(X, X[nxt]), out=d2)
         d2[nxt] = 0.0
     return np.sort(chosen)
+
+
+def anchor_assignment_cost(X: np.ndarray, anchors: np.ndarray) -> float:
+    """Mean distance of each record to its nearest anchor.
+
+    The coverage statistic behind the online shift test: anchors chosen
+    on the fit-time distribution cover it tightly, so the mean
+    nearest-anchor distance of fresh traffic rising well above the
+    fit-time value means the incoming records live where no anchor
+    does — the landmark approximation (and the representation built on
+    it) is being asked about a different distribution.
+
+    O(M * L * N) time, O(M) extra memory — same budget as selection.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    anchors = np.atleast_2d(np.asarray(anchors, dtype=np.float64))
+    if X.ndim != 2 or X.shape[0] < 1:
+        raise ValidationError("assignment cost needs a non-empty 2-D matrix")
+    if anchors.shape[0] < 1 or anchors.shape[1] != X.shape[1]:
+        raise ValidationError(
+            "anchors must be a non-empty (L, N) matrix matching X's width"
+        )
+    d2 = _sq_dists_to(X, anchors[0])
+    for row in anchors[1:]:
+        np.minimum(d2, _sq_dists_to(X, row), out=d2)
+    return float(np.sqrt(np.clip(d2, 0.0, None)).mean())
+
+
+@dataclass(frozen=True)
+class LandmarkRefresh:
+    """Outcome of one :func:`refresh_landmarks` decision.
+
+    Attributes
+    ----------
+    refreshed:
+        Whether new anchors were selected over the window.
+    indices:
+        Sorted anchor row indices **into the window** when refreshed,
+        else ``None``.
+    anchors:
+        Anchor coordinates — freshly selected rows of the window when
+        refreshed, otherwise the anchors that were passed in.
+    cost:
+        Mean nearest-anchor distance of the window under the *incoming*
+        anchors (the shift numerator).
+    baseline_cost:
+        The fit-time (or first-window) reference cost the ratio is
+        taken against.
+    shift:
+        ``cost / baseline_cost`` — 1.0 means the window is covered as
+        tightly as the baseline was; values above ``shift_threshold``
+        triggered the refresh.
+    """
+
+    refreshed: bool
+    indices: Optional[np.ndarray]
+    anchors: np.ndarray
+    cost: float
+    baseline_cost: float
+    shift: float
+
+
+def refresh_landmarks(
+    window: np.ndarray,
+    anchors: Optional[np.ndarray] = None,
+    *,
+    n_landmarks: int,
+    method: str = "kmeans++",
+    random_state: RandomStateLike = 0,
+    baseline_cost: Optional[float] = None,
+    shift_threshold: float = 1.25,
+    force: bool = False,
+) -> LandmarkRefresh:
+    """Re-anchor over a sliding window when the distribution shifted.
+
+    Computes the anchor-assignment cost of ``window`` under the current
+    ``anchors``, takes its ratio against ``baseline_cost`` (the cost at
+    fit time, or of the first window — any reference captured while
+    the anchors still matched the data), and re-runs
+    :func:`select_landmarks` over the window iff the ratio exceeds
+    ``shift_threshold`` (or ``force`` is set, or no anchors exist yet).
+
+    Cheap by construction: the non-refresh path is one O(M * L * N)
+    distance sweep, so callers can evaluate it every control tick and
+    only pay the selection when re-anchoring is actually warranted.
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if window.ndim != 2 or window.shape[0] < 1:
+        raise ValidationError("landmark refresh needs a non-empty 2-D window")
+    if shift_threshold <= 0:
+        raise ValidationError("shift_threshold must be positive")
+    n_landmarks = min(int(n_landmarks), window.shape[0])
+    if anchors is None:
+        # Nothing to compare against: bootstrap anchors from the window
+        # and report the post-selection cost as its own baseline.
+        indices = select_landmarks(
+            window, n_landmarks, method=method, random_state=random_state
+        )
+        selected = window[indices]
+        cost = anchor_assignment_cost(window, selected)
+        base = cost if baseline_cost is None else float(baseline_cost)
+        return LandmarkRefresh(
+            refreshed=True,
+            indices=indices,
+            anchors=selected,
+            cost=cost,
+            baseline_cost=base,
+            shift=1.0 if base == 0.0 else cost / base,
+        )
+    anchors = np.atleast_2d(np.asarray(anchors, dtype=np.float64))
+    cost = anchor_assignment_cost(window, anchors)
+    if baseline_cost is None or float(baseline_cost) <= 0.0:
+        # Degenerate reference (identical records, or none captured):
+        # treat the current cost as the baseline rather than dividing
+        # by zero — shift is then exactly 1.0 and never flaps.
+        baseline = cost if cost > 0.0 else 1.0
+    else:
+        baseline = float(baseline_cost)
+    shift = cost / baseline if baseline > 0.0 else 1.0
+    if not force and shift <= float(shift_threshold):
+        return LandmarkRefresh(
+            refreshed=False,
+            indices=None,
+            anchors=anchors,
+            cost=cost,
+            baseline_cost=baseline,
+            shift=shift,
+        )
+    indices = select_landmarks(
+        window, n_landmarks, method=method, random_state=random_state
+    )
+    return LandmarkRefresh(
+        refreshed=True,
+        indices=indices,
+        anchors=window[indices],
+        cost=cost,
+        baseline_cost=baseline,
+        shift=shift,
+    )

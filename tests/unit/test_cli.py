@@ -56,6 +56,26 @@ class TestParser:
         assert args.command == "serve"
         assert args.port == 9000
         assert args.batch_size == 256
+        assert args.online_refit is False
+
+    def test_serve_online_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--artifact", "/tmp/a", "--workers", "2",
+                "--online-refit", "--refresh-window", "128",
+                "--drift-policy", "both", "--refit-cooldown", "5.0",
+            ]
+        )
+        assert args.online_refit is True
+        assert args.refresh_window == 128
+        assert args.drift_policy == "both"
+        assert args.refit_cooldown == 5.0
+
+    def test_serve_rejects_bogus_drift_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--artifact", "/tmp/a", "--drift-policy", "bogus"]
+            )
 
 
 class TestMain:
@@ -121,6 +141,28 @@ class TestServingCommands:
     def test_serve_unknown_artifact_errors(self, tmp_path, capsys):
         assert main(["serve", "--artifact", str(tmp_path / "missing")]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_online_knobs_without_online_refit_error(self, capsys):
+        code = main(
+            ["serve", "--artifact", "/tmp/a", "--refresh-window", "128"]
+        )
+        assert code == 1
+        assert "--online-refit" in capsys.readouterr().err
+
+    def test_online_refit_needs_multiple_workers(self, tmp_path, capsys):
+        out = str(tmp_path / "artifact")
+        assert main(
+            [
+                "fit-save", "credit", "--out", out, "--records", "120",
+                "--n-prototypes", "3", "--max-iter", "15", "--seed", "3",
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve", "--artifact", out, "--workers", "1", "--online-refit"]
+        )
+        assert code == 1
+        assert "workers" in capsys.readouterr().err
 
 
 class TestPairModeFlags:

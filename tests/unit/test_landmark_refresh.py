@@ -1,0 +1,146 @@
+"""Sliding-window landmark refresh and the anchor-coverage shift test."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.landmarks import (
+    anchor_assignment_cost,
+    refresh_landmarks,
+    select_landmarks,
+)
+
+
+def _window(rng, n=60, d=4, shift=0.0):
+    return rng.normal(size=(n, d)) + shift
+
+
+def test_assignment_cost_validation():
+    with pytest.raises(ValidationError):
+        anchor_assignment_cost(np.zeros((0, 3)), np.zeros((2, 3)))
+    with pytest.raises(ValidationError):
+        anchor_assignment_cost(np.zeros((4, 3)), np.zeros((2, 5)))
+
+
+def test_assignment_cost_zero_when_anchors_cover_every_row():
+    X = np.arange(12, dtype=np.float64).reshape(4, 3)
+    assert anchor_assignment_cost(X, X) == 0.0
+    # one distant anchor: cost is the mean distance to it
+    single = anchor_assignment_cost(X, X[:1])
+    assert single > 0.0
+
+
+def test_assignment_cost_grows_with_shift():
+    rng = np.random.default_rng(0)
+    W = _window(rng)
+    anchors = W[select_landmarks(W, 8, random_state=0)]
+    near = anchor_assignment_cost(W, anchors)
+    far = anchor_assignment_cost(W + 10.0, anchors)
+    assert far > 3 * near
+
+
+def test_refresh_validation():
+    with pytest.raises(ValidationError):
+        refresh_landmarks(np.zeros((0, 3)), n_landmarks=2)
+    with pytest.raises(ValidationError):
+        refresh_landmarks(np.zeros((4, 3)), n_landmarks=2, shift_threshold=0.0)
+
+
+def test_bootstrap_without_anchors():
+    rng = np.random.default_rng(1)
+    W = _window(rng)
+    result = refresh_landmarks(W, None, n_landmarks=8, random_state=3)
+    assert result.refreshed
+    assert result.indices.size == 8
+    assert np.array_equal(result.anchors, W[result.indices])
+    assert result.shift == 1.0
+    assert result.baseline_cost == result.cost > 0.0
+
+
+def test_no_shift_keeps_anchors():
+    rng = np.random.default_rng(2)
+    W = _window(rng)
+    base = refresh_landmarks(W, None, n_landmarks=8, random_state=3)
+    W2 = _window(np.random.default_rng(5))  # same distribution
+    result = refresh_landmarks(
+        W2,
+        base.anchors,
+        n_landmarks=8,
+        baseline_cost=base.baseline_cost,
+        shift_threshold=1.5,
+        random_state=3,
+    )
+    assert not result.refreshed
+    assert result.indices is None
+    assert np.array_equal(result.anchors, base.anchors)
+    assert result.shift == pytest.approx(result.cost / base.baseline_cost)
+
+
+def test_shift_triggers_reanchoring():
+    rng = np.random.default_rng(4)
+    W = _window(rng)
+    base = refresh_landmarks(W, None, n_landmarks=8, random_state=3)
+    shifted = _window(np.random.default_rng(6), shift=10.0)
+    result = refresh_landmarks(
+        shifted,
+        base.anchors,
+        n_landmarks=8,
+        baseline_cost=base.baseline_cost,
+        shift_threshold=1.5,
+        random_state=3,
+    )
+    assert result.shift > 1.5
+    assert result.refreshed
+    # fresh anchors come from the shifted window and cover it again
+    assert np.array_equal(result.anchors, shifted[result.indices])
+    recovered = anchor_assignment_cost(shifted, result.anchors)
+    assert recovered < base.baseline_cost * 1.5
+
+
+def test_force_refresh_bypasses_threshold():
+    rng = np.random.default_rng(7)
+    W = _window(rng)
+    base = refresh_landmarks(W, None, n_landmarks=8, random_state=3)
+    result = refresh_landmarks(
+        W,
+        base.anchors,
+        n_landmarks=8,
+        baseline_cost=base.baseline_cost,
+        shift_threshold=100.0,
+        force=True,
+        random_state=3,
+    )
+    assert result.refreshed
+
+
+def test_degenerate_baseline_never_flaps():
+    """Zero/None baselines (identical records, lost state) fall back to
+    the current cost, so the shift ratio stays a calm 1.0."""
+    W = np.ones((10, 3))
+    anchors = np.zeros((2, 3))
+    result = refresh_landmarks(
+        W, anchors, n_landmarks=2, baseline_cost=0.0, shift_threshold=1.25
+    )
+    assert result.shift == 1.0
+    assert not result.refreshed
+    result = refresh_landmarks(
+        W, anchors, n_landmarks=2, baseline_cost=None, shift_threshold=1.25
+    )
+    assert result.shift == 1.0
+    assert not result.refreshed
+
+
+def test_n_landmarks_capped_at_window_rows():
+    rng = np.random.default_rng(8)
+    W = _window(rng, n=5)
+    result = refresh_landmarks(W, None, n_landmarks=50, random_state=0)
+    assert result.indices.size == 5
+
+
+def test_refresh_is_deterministic_under_seed():
+    rng = np.random.default_rng(9)
+    W = _window(rng)
+    a = refresh_landmarks(W, None, n_landmarks=8, random_state=13)
+    b = refresh_landmarks(W, None, n_landmarks=8, random_state=13)
+    assert np.array_equal(a.indices, b.indices)
+    assert a.cost == b.cost
